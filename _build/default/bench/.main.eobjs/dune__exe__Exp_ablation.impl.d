@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Acl Array Harness Ilp List Placement Printf Routing Ternary Topo Workload

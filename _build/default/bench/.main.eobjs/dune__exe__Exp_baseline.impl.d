@@ -1,0 +1,1 @@
+bench/exp_baseline.ml: Harness List Placement Printf Workload

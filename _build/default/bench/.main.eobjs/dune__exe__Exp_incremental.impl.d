@@ -1,0 +1,1 @@
+bench/exp_incremental.ml: Classbench Fun Harness List Option Placement Printf Prng Routing Topo Workload

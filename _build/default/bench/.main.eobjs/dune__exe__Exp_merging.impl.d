@@ -1,0 +1,1 @@
+bench/exp_merging.ml: Harness List Placement Printf Workload

@@ -1,0 +1,1 @@
+bench/exp_sat.ml: Harness List Placement Workload

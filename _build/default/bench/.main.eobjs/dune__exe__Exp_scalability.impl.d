@@ -1,0 +1,1 @@
+bench/exp_scalability.ml: Harness List Placement Printf String Workload

@@ -1,0 +1,1 @@
+bench/harness.ml: Float Ilp List Placement Printf String Unix

@@ -1,0 +1,166 @@
+(* Design-choice ablations (DESIGN.md):
+   A1 — objective: total-rules vs traffic-weighted upstream placement;
+   A2 — path slicing on/off under per-egress flow regions;
+   A3 — solver: root LP relaxation on/off (why the B&B needs it). *)
+
+let mean_drop_distance (sol : Placement.Solution.t) =
+  (* Average hop index (0 = ingress-side) of installed DROP entries over
+     the paths of their policies: the traffic proxy the upstream
+     objective minimizes. *)
+  let inst = sol.Placement.Solution.instance in
+  let total = ref 0.0 and count = ref 0 in
+  Array.iteri
+    (fun k cells ->
+      List.iter
+        (fun (c : Placement.Solution.cell) ->
+          if Acl.Rule.is_drop c.Placement.Solution.rule then
+            List.iter
+              (fun (i, _) ->
+                let paths =
+                  Routing.Table.paths_from inst.Placement.Instance.routing i
+                in
+                let ds =
+                  List.filter_map
+                    (fun p -> Routing.Path.position p k)
+                    paths
+                in
+                match ds with
+                | [] -> ()
+                | _ ->
+                  incr count;
+                  total :=
+                    !total
+                    +. float_of_int (List.fold_left min max_int ds))
+              c.Placement.Solution.tags)
+        cells)
+    sol.Placement.Solution.per_switch;
+  if !count = 0 then 0.0 else !total /. float_of_int !count
+
+(* A diamond with a long shared tail: two branches s1/s2 rejoin at s3 and
+   continue s3-s4-s5.  The ingress and the junction switches have no ACL
+   room, so a drop block either duplicates early (s1 + s2, hop 1, four
+   entries) or sits once at the tail (s5, hop 4, two entries).  The
+   total-rules optimum picks the tail; the upstream objective pays the
+   duplication to kill traffic early — exactly the trade-off of
+   Section IV-A4. *)
+let objective_instance () =
+  let net =
+    Topo.Net.create ~num_switches:6
+      ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (4, 5) ]
+      ~host_attach:[| 0; 5 |] ()
+  in
+  let routing =
+    Routing.Table.of_paths
+      [
+        Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1; 3; 4; 5 ] ();
+        Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 2; 3; 4; 5 ] ();
+      ]
+  in
+  let permit =
+    Ternary.Field.make ~src:(Ternary.Prefix.of_string "10.1.0.0/16") ()
+  in
+  let drop = Ternary.Field.make ~src:(Ternary.Prefix.of_string "10.0.0.0/8") () in
+  let policy =
+    Acl.Policy.of_fields [ (permit, Acl.Rule.Permit); (drop, Acl.Rule.Drop) ]
+  in
+  Placement.Instance.make ~net ~routing ~policies:[ (0, policy) ]
+    ~capacities:[| 0; 2; 2; 0; 0; 2 |]
+
+let objective_ablation ~title ~time_limit () =
+  let inst = objective_instance () in
+  let solve objective =
+    Placement.Solve.run
+      ~options:
+        (Placement.Solve.options ~objective
+           ~ilp_config:{ Ilp.Solver.default_config with time_limit }
+           ())
+      inst
+  in
+  let row name objective =
+    let report = solve objective in
+    match report.Placement.Solve.solution with
+    | Some sol ->
+      [
+        name;
+        string_of_int (Placement.Solution.total_entries sol);
+        Printf.sprintf "%.2f" (mean_drop_distance sol);
+        Harness.status_short report.Placement.Solve.status;
+      ]
+    | None -> [ name; "-"; "-"; Harness.status_short report.Placement.Solve.status ]
+  in
+  Harness.print_table ~title
+    ~headers:[ "objective"; "entries"; "mean drop hop"; "status" ]
+    [
+      row "total-rules" Placement.Encode.Total_rules;
+      row "upstream-drops" Placement.Encode.Upstream_drops;
+    ]
+
+let slicing_ablation ~title ~time_limit () =
+  let rows =
+    List.map
+      (fun capacity ->
+        let f =
+          {
+            Workload.default with
+            Workload.rules = 20;
+            capacity;
+            paths = 48;
+            slice = true (* flows carry per-egress regions either way *);
+          }
+        in
+        let inst = Workload.build f in
+        let solve slice =
+          Placement.Solve.run
+            ~options:(Harness.solve_options ~slice ~time_limit ())
+            inst
+        in
+        let cell report =
+          match report.Placement.Solve.solution with
+          | Some sol ->
+            Printf.sprintf "%d (%s)"
+              (Placement.Solution.total_entries sol)
+              (Harness.status_short report.Placement.Solve.status)
+          | None -> Harness.status_short report.Placement.Solve.status
+        in
+        [ string_of_int capacity; cell (solve false); cell (solve true) ])
+      [ 12; 20; 40 ]
+  in
+  Harness.print_table ~title
+    ~headers:[ "capacity"; "unsliced entries"; "sliced entries" ]
+    rows
+
+let solver_ablation ~title ~time_limit () =
+  let rows =
+    List.map
+      (fun (rules, capacity) ->
+        let f = { Workload.default with Workload.rules; capacity; paths = 64 } in
+        let inst = Workload.build f in
+        let solve lp_root =
+          Harness.wall (fun () ->
+              Placement.Solve.run
+                ~options:
+                  (Placement.Solve.options
+                     ~ilp_config:
+                       { Ilp.Solver.default_config with time_limit; lp_root }
+                     ())
+                inst)
+        in
+        let cell (report, dt) =
+          let nodes =
+            match report.Placement.Solve.ilp_stats with
+            | Some s -> s.Ilp.Solver.nodes
+            | None -> 0
+          in
+          Printf.sprintf "%ss / %d nodes (%s)" (Harness.sec dt) nodes
+            (Harness.status_short report.Placement.Solve.status)
+        in
+        [
+          Printf.sprintf "r=%d C=%d" rules capacity;
+          cell (solve true);
+          cell (solve false);
+        ])
+      [ (26, 18); (32, 100) ]
+  in
+  Harness.print_table ~title
+    ~headers:[ "instance"; "with root LP"; "without root LP" ]
+    rows

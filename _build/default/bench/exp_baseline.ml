@@ -1,0 +1,46 @@
+(* Experiment B1 — the Section V comparison against prior placement
+   strategies: our ILP optimum vs the greedy ingress-first heuristic vs
+   the replicate-on-every-path count (p x r) the paper attributes to
+   one-big-switch compilation without sharing.  The paper reports its
+   worst case at 18% of p x r. *)
+
+let run ~title ~k ~rules ~paths_sweep ~capacity ~time_limit () =
+  let rows =
+    List.map
+      (fun paths ->
+        let f =
+          { Workload.default with Workload.k; rules; paths; capacity }
+        in
+        let inst = Workload.build f in
+        let report =
+          Placement.Solve.run ~options:(Harness.solve_options ~time_limit ()) inst
+        in
+        let layout = report.Placement.Solve.layout in
+        let ours =
+          match report.Placement.Solve.solution with
+          | Some sol -> Placement.Solution.total_entries sol
+          | None -> -1
+        in
+        let greedy =
+          match Placement.Baseline.greedy layout with
+          | Placement.Baseline.Placed sol -> Placement.Solution.total_entries sol
+          | Placement.Baseline.Stuck _ -> -1
+        in
+        let pr = Placement.Baseline.replicate_all_count inst in
+        let show n = if n < 0 then "fail" else string_of_int n in
+        let pct n =
+          if n < 0 then "-"
+          else Printf.sprintf "%.0f%%" (100.0 *. float_of_int n /. float_of_int pr)
+        in
+        [
+          string_of_int paths;
+          show ours ^ " (" ^ Harness.status_short report.Placement.Solve.status ^ ")";
+          show greedy;
+          string_of_int pr;
+          pct ours;
+        ])
+      paths_sweep
+  in
+  Harness.print_table ~title
+    ~headers:[ "#paths"; "ILP entries"; "greedy"; "p x r"; "ILP / (p x r)" ]
+    rows

@@ -1,0 +1,72 @@
+(* Experiment 3 of the paper (Table II): rule merging vs capacity.
+   Policies carry a fixed non-mergeable core plus 1..10 network-wide
+   blacklist rules shared by every ingress; for each capacity the
+   placement is solved with and without merging.  Cells report the total
+   installed rules B and the duplication overhead (B - A) / A, "Inf" when
+   the capacity cannot be met — merging turns several Inf cells feasible
+   and drives some overheads negative, which is the paper's headline. *)
+
+let cell ~core_rules ~mr ~capacity ~merge ~seeds ~time_limit =
+  let results =
+    List.map
+      (fun seed ->
+        let f =
+          {
+            Workload.default with
+            Workload.rules = core_rules;
+            mergeable = mr;
+            capacity;
+            paths = 48;
+            seed;
+            ingress_mode = Workload.Contiguous;
+          }
+        in
+        let inst = Workload.build f in
+        let report =
+          Placement.Solve.run
+            ~options:(Harness.solve_options ~merge ~time_limit ())
+            inst
+        in
+        match (report.Placement.Solve.status, report.Placement.Solve.solution) with
+        | (`Optimal | `Feasible), Some sol ->
+          `Solved
+            ( Placement.Solution.total_entries sol,
+              Placement.Solution.overhead_pct sol )
+        | `Infeasible, _ -> `Inf
+        | _ -> `Timeout)
+      seeds
+  in
+  let feasible =
+    List.filter_map (function `Solved x -> Some x | `Inf | `Timeout -> None) results
+  in
+  if feasible = [] then
+    if List.mem `Timeout results then "t/o" else "Inf"
+  else
+    let n = float_of_int (List.length feasible) in
+    let b =
+      List.fold_left (fun acc (e, _) -> acc +. float_of_int e) 0.0 feasible /. n
+    in
+    let ov = List.fold_left (fun acc (_, o) -> acc +. o) 0.0 feasible /. n in
+    Printf.sprintf "%.0f %+.0f%%" b ov
+
+let table ~title ~core_rules ~capacities ~mr_sweep ~seeds ~time_limit () =
+  let headers =
+    "#MR"
+    :: List.concat_map
+         (fun c -> [ Printf.sprintf "C=%d" c; Printf.sprintf "C=%d+MR" c ])
+         capacities
+  in
+  let rows =
+    List.map
+      (fun mr ->
+        string_of_int mr
+        :: List.concat_map
+             (fun capacity ->
+               [
+                 cell ~core_rules ~mr ~capacity ~merge:false ~seeds ~time_limit;
+                 cell ~core_rules ~mr ~capacity ~merge:true ~seeds ~time_limit;
+               ])
+             capacities)
+      mr_sweep
+  in
+  Harness.print_table ~title ~headers rows

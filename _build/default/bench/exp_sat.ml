@@ -1,0 +1,79 @@
+(* Experiment S1 — the paper's future work (Section IV-D / VII): solve
+   the same instances with the satisfiability formulation and check it
+   agrees with the ILP on feasibility.  Reported: SAT wall time, CDCL
+   conflicts, ILP wall time, and agreement. *)
+
+let run ~title ~k ~paths ~caps ~rules_sweep ~time_limit () =
+  let low, high = caps in
+  let rows =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun c ->
+            let f =
+              { Workload.default with Workload.k; paths; rules = r; capacity = c }
+            in
+            let inst = Workload.build f in
+            let sat_report, sat_dt =
+              Harness.wall (fun () ->
+                  Placement.Solve.run
+                    ~options:
+                      (Placement.Solve.options ~engine:Placement.Solve.Sat_engine ())
+                    inst)
+            in
+            let ilp_report, ilp_dt =
+              Harness.wall (fun () ->
+                  Placement.Solve.run
+                    ~options:(Harness.solve_options ~time_limit ())
+                    inst)
+            in
+            let satopt_report, satopt_dt =
+              Harness.wall (fun () ->
+                  Placement.Solve.run
+                    ~options:
+                      (Placement.Solve.options
+                         ~engine:Placement.Solve.Sat_opt_engine
+                         ~sat_conflict_limit:5_000 ())
+                    inst)
+            in
+            let entries r =
+              match r.Placement.Solve.solution with
+              | Some sol ->
+                string_of_int (Placement.Solution.total_entries sol)
+              | None -> "-"
+            in
+            let feas = function
+              | `Optimal | `Feasible -> "sat"
+              | `Infeasible -> "unsat"
+              | `Unknown -> "?"
+            in
+            let sat_f = feas sat_report.Placement.Solve.status in
+            let ilp_f = feas ilp_report.Placement.Solve.status in
+            [
+              string_of_int r;
+              string_of_int c;
+              Harness.sec sat_dt;
+              (match sat_report.Placement.Solve.sat_conflicts with
+              | Some n -> string_of_int n
+              | None -> "-");
+              sat_f;
+              Harness.sec ilp_dt;
+              ilp_f;
+              entries ilp_report;
+              Harness.sec satopt_dt;
+              entries satopt_report
+              ^ (match satopt_report.Placement.Solve.status with
+                | `Optimal -> ""
+                | _ -> "*");
+              (if sat_f = ilp_f || sat_f = "?" || ilp_f = "?" then "yes" else "NO");
+            ])
+          [ low; high ])
+      rules_sweep
+  in
+  Harness.print_table ~title
+    ~headers:
+      [
+        "#rules"; "C"; "SAT s"; "conflicts"; "SAT"; "ILP s"; "ILP"; "ILP B";
+        "opt s"; "SATopt B"; "agree";
+      ]
+    rows

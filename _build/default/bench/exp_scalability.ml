@@ -1,0 +1,80 @@
+(* Experiments 1, 2 and 4 of the paper (Figures 7-9, 10 and 11): solver
+   wall time as a function of rules per policy, path count, and switch
+   capacity.  Each point averages several seeded instances, like the
+   paper's 5-instance averages. *)
+
+let solve_point f ~time_limit =
+  let inst = Workload.build f in
+  let report, dt =
+    Harness.wall (fun () ->
+        Placement.Solve.run ~options:(Harness.solve_options ~time_limit ()) inst)
+  in
+  (report.Placement.Solve.status, dt)
+
+let point_cell ~seeds ~time_limit f =
+  let runs =
+    List.map (fun seed -> solve_point { f with Workload.seed } ~time_limit) seeds
+  in
+  let times = List.map snd runs in
+  let statuses =
+    String.concat "/" (List.map (fun (s, _) -> Harness.status_short s) runs)
+  in
+  Printf.sprintf "%s (%s)" (Harness.sec (Harness.mean times)) statuses
+
+(* Figures 7, 8, 9: time vs rules for two capacities, one figure per k. *)
+let rules_figure ~title ~k ~paths ~caps ~rules_sweep ~seeds ~time_limit () =
+  let low, high = caps in
+  let rows =
+    List.map
+      (fun r ->
+        let cell c =
+          point_cell ~seeds ~time_limit
+            { Workload.default with Workload.k; paths; rules = r; capacity = c }
+        in
+        [ string_of_int r; cell low; cell high ])
+      rules_sweep
+  in
+  Harness.print_table ~title
+    ~headers:
+      [
+        "#rules";
+        Printf.sprintf "time C=%d (status)" low;
+        Printf.sprintf "time C=%d (status)" high;
+      ]
+    rows
+
+(* Figure 10: time vs number of paths for two capacities. *)
+let paths_figure ~title ~k ~rules ~caps ~paths_sweep ~seeds ~time_limit () =
+  let low, high = caps in
+  let rows =
+    List.map
+      (fun p ->
+        let cell c =
+          point_cell ~seeds ~time_limit
+            { Workload.default with Workload.k; rules; paths = p; capacity = c }
+        in
+        [ string_of_int p; cell low; cell high ])
+      paths_sweep
+  in
+  Harness.print_table ~title
+    ~headers:
+      [
+        "#paths";
+        Printf.sprintf "time C=%d (status)" low;
+        Printf.sprintf "time C=%d (status)" high;
+      ]
+    rows
+
+(* Figure 11: time vs switch capacity. *)
+let capacity_figure ~title ~k ~rules ~paths ~cap_sweep ~seeds ~time_limit () =
+  let rows =
+    List.map
+      (fun c ->
+        [
+          string_of_int c;
+          point_cell ~seeds ~time_limit
+            { Workload.default with Workload.k; rules; paths; capacity = c };
+        ])
+      cap_sweep
+  in
+  Harness.print_table ~title ~headers:[ "capacity"; "time (status)" ] rows

@@ -1,0 +1,46 @@
+(* Timing, aggregation and table printing shared by all experiments. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum xs = List.fold_left Float.min infinity xs
+
+let maximum xs = List.fold_left Float.max neg_infinity xs
+
+let status_short : Placement.Encode.status -> string = function
+  | `Optimal -> "opt"
+  | `Feasible -> "feas*"
+  | `Infeasible -> "INF"
+  | `Unknown -> "unk"
+
+(* Fixed-width table printing. *)
+let print_table ~title ~headers rows =
+  let all = headers :: rows in
+  let ncols = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c cell -> Printf.sprintf "%*s" (List.nth widths c) cell)
+         row)
+  in
+  Printf.printf "\n== %s ==\n%s\n%s\n" title (line headers)
+    (String.make (String.length (line headers)) '-');
+  List.iter (fun row -> print_endline (line row)) rows;
+  print_newline ()
+
+let sec t = Printf.sprintf "%.3f" t
+
+let ms t = Printf.sprintf "%.0f" (t *. 1000.0)
+
+let solve_options ?(merge = false) ?(slice = false) ?(time_limit = 10.0) () =
+  Placement.Solve.options ~merge ~slice
+    ~ilp_config:{ Ilp.Solver.default_config with time_limit }
+    ()

@@ -1,0 +1,189 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   Section V (scaled — see EXPERIMENTS.md), runs the future-work SAT
+   comparison, the baseline comparison and the design ablations, then a
+   Bechamel micro-benchmark with one timing probe per table/figure.
+
+   Usage: dune exec bench/main.exe -- [--quick] [--no-micro]
+                                      [--only fig7|fig8|fig9|fig10|fig11|
+                                              table2|exp5|s1|b1|ablations] *)
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+
+(* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
+   table2 exp5 s1 b1 ablations); repeatable. *)
+let only =
+  let rec collect i acc =
+    if i >= Array.length Sys.argv then acc
+    else if Sys.argv.(i) = "--only" && i + 1 < Array.length Sys.argv then
+      collect (i + 2) (Sys.argv.(i + 1) :: acc)
+    else collect (i + 1) acc
+  in
+  collect 1 []
+
+let wants name = only = [] || List.mem name only
+
+let seeds = if quick then [ 1 ] else [ 1; 2 ]
+
+let time_limit = if quick then 5.0 else 10.0
+
+let rules_sweep = if quick then [ 8; 20; 32; 44 ] else [ 8; 14; 20; 26; 32; 38; 44 ]
+
+let run_experiments () =
+  Printf.printf
+    "SDN rule placement benchmarks (scaled reproduction; paper: DSN'14)\n";
+  Printf.printf "mode: %s, seeds/point: %d, ILP time limit: %.0fs\n"
+    (if quick then "quick" else "full")
+    (List.length seeds) time_limit;
+
+  if wants "fig7" then
+    Exp_scalability.rules_figure
+      ~title:"Figure 7 (scaled): time vs #rules, Fat-Tree k=4, p=64"
+      ~k:4 ~paths:64 ~caps:(18, 100) ~rules_sweep ~seeds ~time_limit ();
+  if wants "fig8" then
+    Exp_scalability.rules_figure
+      ~title:"Figure 8 (scaled): time vs #rules, Fat-Tree k=6, p=64"
+      ~k:6 ~paths:64 ~caps:(20, 120) ~rules_sweep ~seeds ~time_limit ();
+  if wants "fig9" then
+    Exp_scalability.rules_figure
+      ~title:"Figure 9 (scaled): time vs #rules, Fat-Tree k=8, p=64"
+      ~k:8 ~paths:64 ~caps:(24, 140) ~rules_sweep ~seeds ~time_limit ();
+
+  if wants "fig10" then
+  Exp_scalability.paths_figure
+    ~title:"Figure 10 (scaled): time vs #paths, k=4, r=26"
+    ~k:4 ~rules:26 ~caps:(16, 60)
+    ~paths_sweep:(if quick then [ 16; 32; 48; 64 ] else [ 16; 24; 32; 40; 48; 56; 64 ])
+    ~seeds ~time_limit ();
+
+  if wants "table2" then
+  Exp_merging.table
+    ~title:"Table II (scaled): capacity vs overhead, 20 core rules + shared blacklist"
+    ~core_rules:20
+    ~capacities:[ 22; 26; 30 ]
+    ~mr_sweep:(if quick then [ 2; 6; 10 ] else [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ])
+    ~seeds:[ 1 ] ~time_limit ();
+
+  if wants "fig11" then
+  Exp_scalability.capacity_figure
+    ~title:"Figure 11 (scaled): time vs switch capacity, k=4, r=26, p=48"
+    ~k:4 ~rules:26 ~paths:48
+    ~cap_sweep:(if quick then [ 8; 20; 40; 100 ] else [ 8; 12; 16; 20; 24; 30; 40; 60; 100 ])
+    ~seeds ~time_limit ();
+
+  if wants "exp5" then
+  Exp_incremental.run
+    ~title:"Experiment 5 (scaled): incremental deployment, k=4, p=48, r=20, C=60"
+    ~base_family:
+      { Workload.default with Workload.rules = 20; paths = 48; capacity = 60 }
+    ~install_batches:[ 4; 8; 16 ]
+    ~reroute_batches:[ 1; 4; 8 ]
+    ~new_rules:20 ~time_limit ();
+
+  if wants "s1" then
+  Exp_sat.run
+    ~title:"Experiment S1 (paper future work): SAT/PB formulation vs ILP"
+    ~k:4 ~paths:32 ~caps:(16, 60)
+    ~rules_sweep:[ 8; 20; 32 ]
+    ~time_limit ();
+
+  if wants "b1" then
+  Exp_baseline.run
+    ~title:"Experiment B1: ILP vs greedy vs replicate-everywhere (p x r)"
+    ~k:4 ~rules:16 ~paths_sweep:[ 16; 32; 48 ] ~capacity:80 ~time_limit ();
+
+  if wants "ablations" then begin
+    Exp_ablation.objective_ablation
+      ~title:"Ablation A1: total-rules vs upstream-drops objective" ~time_limit ();
+    Exp_ablation.slicing_ablation
+      ~title:"Ablation A2: path slicing on/off" ~time_limit ();
+    Exp_ablation.solver_ablation
+      ~title:"Ablation A3: root LP relaxation on/off" ~time_limit ()
+  end
+
+(* ---------------- Bechamel micro-benchmarks ---------------- *)
+
+open Bechamel
+
+let solve_staged ?(merge = false) ?(engine = Placement.Solve.Ilp_engine) f =
+  let inst = Workload.build f in
+  Staged.stage (fun () ->
+      ignore
+        (Placement.Solve.run
+           ~options:
+             (Placement.Solve.options ~merge ~engine
+                ~ilp_config:{ Ilp.Solver.default_config with time_limit = 5.0 }
+                ())
+           inst))
+
+let micro_tests () =
+  let small k = { Workload.default with Workload.k; rules = 8; paths = 16; capacity = 60 } in
+  let incremental_staged () =
+    let f = small 4 in
+    let inst = Workload.build f in
+    let report = Placement.Solve.run ~options:(Harness.solve_options ()) inst in
+    let base = Option.get report.Placement.Solve.solution in
+    let g = Prng.create 7 in
+    let policy = Classbench.policy g ~num_rules:8 in
+    let net = inst.Placement.Instance.net in
+    let h = Topo.Net.num_hosts net - 1 in
+    let switches =
+      Option.get
+        (Routing.Shortest.random_shortest_path g net
+           ~src:(Topo.Net.host_attach net h)
+           ~dst:(Topo.Net.host_attach net 1))
+    in
+    let path = Routing.Path.make ~ingress:h ~egress:1 ~switches () in
+    Staged.stage (fun () ->
+        ignore
+          (Placement.Incremental.install
+             ~options:(Harness.solve_options ())
+             ~base
+             ~policies:[ (h, policy) ]
+             ~paths:[ path ] ()))
+  in
+  Test.make_grouped ~name:"paper"
+    [
+      Test.make ~name:"fig7_point_k4" (solve_staged (small 4));
+      Test.make ~name:"fig8_point_k6" (solve_staged (small 6));
+      Test.make ~name:"fig9_point_k8" (solve_staged (small 8));
+      Test.make ~name:"fig10_point_paths"
+        (solve_staged { (small 4) with Workload.paths = 32 });
+      Test.make ~name:"fig11_point_capacity"
+        (solve_staged { (small 4) with Workload.capacity = 20 });
+      Test.make ~name:"table2_point_merging"
+        (solve_staged ~merge:true { (small 4) with Workload.mergeable = 4 });
+      Test.make ~name:"exp5_incremental_install" (incremental_staged ());
+      Test.make ~name:"expS1_sat_point"
+        (solve_staged ~engine:Placement.Solve.Sat_engine (small 4));
+    ]
+
+let run_micro () =
+  print_endline "\n== Bechamel micro-benchmarks (one probe per table/figure) ==";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw =
+    Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (micro_tests ())
+  in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let time =
+        match Analyze.OLS.estimates est with
+        | Some [ x ] -> Printf.sprintf "%.3f ms" (x /. 1e6)
+        | _ -> "-"
+      in
+      rows := [ name; time ] :: !rows)
+    results;
+  Harness.print_table ~title:"estimated time per solve"
+    ~headers:[ "probe"; "time/run" ]
+    (List.sort Stdlib.compare !rows)
+
+let () =
+  run_experiments ();
+  if not no_micro then run_micro ();
+  print_endline "benchmarks complete."

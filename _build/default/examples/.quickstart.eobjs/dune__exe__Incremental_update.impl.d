@@ -1,0 +1,1 @@
+examples/incremental_update.ml: Classbench Format Ilp List Option Placement Printf Prng Routing Topo Unix Workload

@@ -1,0 +1,1 @@
+examples/monitoring.ml: Acl Array Format List Netsim Option Placement Prng Routing Ternary Topo

@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Format Ilp List Placement Printf Prng Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Acl Array Format List Netsim Placement Prng Routing Ternary Topo

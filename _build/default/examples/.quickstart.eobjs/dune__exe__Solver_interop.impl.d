@@ -1,0 +1,1 @@
+examples/solver_interop.ml: Cdcl Filename Format Ilp List Out_channel Placement Printf Unix Workload

@@ -1,0 +1,1 @@
+lib/acl/policy.ml: Format List Prng Rule Ternary

@@ -1,0 +1,1 @@
+lib/acl/policy.mli: Format Rule Ternary

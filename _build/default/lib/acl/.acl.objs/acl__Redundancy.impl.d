@@ -1,0 +1,1 @@
+lib/acl/redundancy.ml: Format List Policy Rule Ternary

@@ -1,0 +1,1 @@
+lib/acl/redundancy.mli: Format Policy

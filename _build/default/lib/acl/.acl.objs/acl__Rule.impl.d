@@ -1,0 +1,1 @@
+lib/acl/rule.ml: Format Stdlib Ternary

@@ -1,0 +1,1 @@
+lib/acl/rule.mli: Format Ternary

@@ -1,0 +1,1 @@
+lib/acl/semantics.ml: Cube Field List Option Policy Rule Ternary

@@ -1,0 +1,1 @@
+lib/acl/semantics.mli: Policy Rule Ternary

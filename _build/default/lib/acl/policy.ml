@@ -1,0 +1,77 @@
+type t = { rules : Rule.t list (* strictly descending priority *) }
+
+let check_distinct rules =
+  let sorted = List.sort Rule.compare_priority_desc rules in
+  let rec dup = function
+    | a :: (b :: _ as rest) ->
+      if a.Rule.priority = b.Rule.priority then
+        invalid_arg "Policy.of_rules: duplicate priority"
+      else dup rest
+    | [ _ ] | [] -> ()
+  in
+  dup sorted;
+  sorted
+
+let of_rules rules = { rules = check_distinct rules }
+
+let of_fields specs =
+  let n = List.length specs in
+  let rules =
+    List.mapi
+      (fun i (field, action) -> Rule.make ~field ~action ~priority:(n - i))
+      specs
+  in
+  { rules }
+
+let rules t = t.rules
+
+let size t = List.length t.rules
+
+let drops t = List.filter Rule.is_drop t.rules
+
+let permits t = List.filter Rule.is_permit t.rules
+
+let first_match t p = List.find_opt (fun r -> Rule.matches r p) t.rules
+
+let evaluate t p =
+  match first_match t p with Some r -> r.Rule.action | None -> Rule.Permit
+
+let max_priority t =
+  match t.rules with [] -> 0 | r :: _ -> r.Rule.priority
+
+let add_rule t r = of_rules (r :: t.rules)
+
+let remove_rule t ~priority =
+  { rules = List.filter (fun r -> r.Rule.priority <> priority) t.rules }
+
+let equal_semantics a b probes =
+  List.for_all
+    (fun p -> Rule.action_equal (evaluate a p) (evaluate b p))
+    probes
+
+(* Deterministic seed: witness packets must be stable across runs so test
+   failures are reproducible. *)
+let witness_packets t =
+  let g = Prng.create 0x5EED in
+  let singles =
+    List.map (fun r -> Ternary.Field.random_packet g r.Rule.field) t.rules
+  in
+  let pairs =
+    List.concat_map
+      (fun r1 ->
+        List.filter_map
+          (fun r2 ->
+            if r1 == r2 then None
+            else
+              match Ternary.Field.inter r1.Rule.field r2.Rule.field with
+              | None -> None
+              | Some f -> Some (Ternary.Field.random_packet g f))
+          t.rules)
+      t.rules
+  in
+  singles @ pairs
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Rule.pp)
+    t.rules

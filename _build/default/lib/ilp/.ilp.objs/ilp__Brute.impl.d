@@ -1,0 +1,1 @@
+lib/ilp/brute.ml: Array Model Solver

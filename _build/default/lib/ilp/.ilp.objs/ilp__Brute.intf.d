@@ -1,0 +1,1 @@
+lib/ilp/brute.mli: Model Solver

@@ -1,0 +1,1 @@
+lib/ilp/model.ml: Buffer Format List Printf

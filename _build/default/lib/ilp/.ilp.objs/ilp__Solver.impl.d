@@ -1,0 +1,1 @@
+lib/ilp/solver.ml: Array Float Format List Model Option Simplex Stdlib Sys

@@ -1,0 +1,19 @@
+let solve model =
+  let n = Model.num_vars model in
+  if n > 24 then invalid_arg "Ilp.Brute.solve: too many variables";
+  let best = ref None in
+  let values = Array.make n false in
+  for mask = 0 to (1 lsl n) - 1 do
+    for v = 0 to n - 1 do
+      values.(v) <- mask land (1 lsl v) <> 0
+    done;
+    if Solver.check_feasible model values then begin
+      let objective = Solver.objective_value model values in
+      match !best with
+      | Some (b : Solver.solution) when b.objective <= objective -. 1e-12 -> ()
+      | _ -> best := Some { Solver.values = Array.copy values; objective }
+    end
+  done;
+  match !best with
+  | Some s -> Solver.Optimal s
+  | None -> Solver.Infeasible

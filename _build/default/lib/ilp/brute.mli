@@ -1,0 +1,9 @@
+(** Reference solver: exhaustive enumeration of all 0-1 assignments.
+
+    Only for testing {!Solver} on small models (hard limit of 24
+    variables); agreement between the two on random models is the
+    correctness argument for the branch-and-bound machinery. *)
+
+val solve : Model.t -> Solver.outcome
+(** [Optimal] or [Infeasible], never [Feasible]/[Unknown].
+    Raises [Invalid_argument] beyond 24 variables. *)

@@ -1,0 +1,61 @@
+(** 0-1 integer linear programming models.
+
+    A model is a set of binary variables, linear constraints and a linear
+    objective to minimize.  This is exactly the fragment the paper's
+    encodings need (Section IV-A: binary placement variables, implication,
+    covering and capacity constraints, rule-count objectives), so the
+    solver exploits it: every variable is 0/1, no general integers. *)
+
+type t
+
+type var = private int
+(** Variable handle; also usable as an index into solution arrays. *)
+
+val create : unit -> t
+
+val binary : ?name:string -> t -> var
+(** Fresh 0-1 variable.  [name] is for diagnostics only. *)
+
+val num_vars : t -> int
+
+val name : t -> var -> string
+
+val add_le : t -> (float * var) list -> float -> unit
+(** [add_le m terms b] adds Σ terms <= b. *)
+
+val add_ge : t -> (float * var) list -> float -> unit
+
+val add_eq : t -> (float * var) list -> float -> unit
+
+val implies : t -> var -> var -> unit
+(** [implies m a b]: if [a] = 1 then [b] = 1 (encoded [a - b <= 0]) — the
+    paper's rule-dependency constraint shape (Eq. 1). *)
+
+val fix : t -> var -> bool -> unit
+(** Pin a variable, e.g. to freeze the untouched part of an incremental
+    re-solve (Section IV-E). *)
+
+val set_objective : t -> (float * var) list -> unit
+(** Minimization objective; replaces any previous one.  Variables not
+    mentioned have coefficient 0. *)
+
+val objective : t -> (float * var) list
+
+type sense = Le | Ge | Eq
+
+type row = { terms : (float * var) list; sense : sense; rhs : float }
+
+val rows : t -> row list
+(** In insertion order. *)
+
+val num_rows : t -> int
+
+val var_of_int : t -> int -> var
+(** Recover a handle from an index (bounds-checked). *)
+
+val pp_stats : Format.formatter -> t -> unit
+
+val to_lp_string : t -> string
+(** The model in CPLEX LP file format (Minimize / Subject To / Binary /
+    End sections) so instances can be exported to external solvers for
+    cross-checking or debugging.  Variables are named [x<index>]. *)

@@ -1,0 +1,546 @@
+type solution = { values : bool array; objective : float }
+
+type outcome =
+  | Optimal of solution
+  | Feasible of solution
+  | Infeasible
+  | Unknown
+
+type config = {
+  time_limit : float;
+  node_limit : int;
+  lp_root : bool;
+  lp_depth : int;
+  lp_size_limit : int;
+}
+
+let default_config =
+  {
+    time_limit = 60.0;
+    node_limit = 2_000_000;
+    lp_root = true;
+    lp_depth = 2;
+    lp_size_limit = 12_000_000;
+  }
+
+type stats = { nodes : int; lp_calls : int; elapsed : float; root_bound : float }
+
+let eps = 1e-6
+
+let pp_outcome fmt = function
+  | Optimal s -> Format.fprintf fmt "optimal (%g)" s.objective
+  | Feasible s -> Format.fprintf fmt "feasible (%g, not proven optimal)" s.objective
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Unknown -> Format.pp_print_string fmt "unknown (limit hit)"
+
+let objective_value model values =
+  List.fold_left
+    (fun acc (c, v) -> if values.((v : Model.var :> int)) then acc +. c else acc)
+    0.0 (Model.objective model)
+
+let check_feasible model values =
+  Array.length values = Model.num_vars model
+  && List.for_all
+       (fun (r : Model.row) ->
+         let lhs =
+           List.fold_left
+             (fun acc (c, v) ->
+               if values.((v : Model.var :> int)) then acc +. c else acc)
+             0.0 r.terms
+         in
+         match r.sense with
+         | Model.Le -> lhs <= r.rhs +. eps
+         | Model.Ge -> lhs >= r.rhs -. eps
+         | Model.Eq -> Float.abs (lhs -. r.rhs) <= eps)
+       (Model.rows model)
+
+(* ------------------------------------------------------------------ *)
+(* Internal search state                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* All constraints are normalized to <= rows.  [minact] is the smallest
+   achievable activity given current fixings (free variables contribute
+   min(coef, 0)); a row is unsatisfiable iff minact > rhs. *)
+type lrow = {
+  vidx : int array;
+  vcoef : float array;
+  rhs : float;
+  mutable minact : float;
+}
+
+(* Covering rows (sum of distinct variables >= need) get dedicated
+   bookkeeping for branching and lower bounds. *)
+type cover = { cvars : int array; need : int; mutable ones : int; mutable free : int }
+
+type state = {
+  n : int;
+  c : float array;
+  all_int : bool;
+  lrows : lrow array;
+  covers : cover array;
+  occ_row : int array array;  (* var -> lrow indices *)
+  occ_coef : float array array;
+  cocc : int array array;  (* var -> cover indices *)
+  value : int array;  (* -1 free, 0, 1 *)
+  trail : int array;
+  mutable trail_len : int;
+  mutable obj_fixed : float;  (* sum of c over vars fixed to 1 *)
+  mutable neg_free : float;  (* sum of negative c over free vars *)
+  used_stamp : int array;  (* scratch for the cover bound *)
+  mutable stamp : int;
+  mutable best : solution option;
+  mutable nodes : int;
+  mutable lp_calls : int;
+  mutable stopped : bool;
+  mutable root_bound : float;
+}
+
+let build_state model =
+  let n = Model.num_vars model in
+  let c = Array.make n 0.0 in
+  List.iter
+    (fun (coef, v) -> c.((v : Model.var :> int)) <- c.((v : Model.var :> int)) +. coef)
+    (Model.objective model);
+  let all_int = Array.for_all (fun x -> Float.is_integer x) c in
+  let lrows = ref [] and covers = ref [] in
+  let add_lrow terms rhs =
+    let terms = List.filter (fun (coef, _) -> coef <> 0.0) terms in
+    let vidx = Array.of_list (List.map (fun (_, v) -> (v : Model.var :> int)) terms) in
+    let vcoef = Array.of_list (List.map fst terms) in
+    let minact =
+      Array.fold_left (fun acc a -> acc +. Float.min a 0.0) 0.0 vcoef
+    in
+    lrows := { vidx; vcoef; rhs; minact } :: !lrows
+  in
+  let is_unit_cover (r : Model.row) =
+    r.rhs >= 1.0 -. eps
+    && List.for_all (fun (coef, _) -> Float.abs (coef -. 1.0) < eps) r.terms
+    &&
+    let vars = List.map (fun (_, v) -> (v : Model.var :> int)) r.terms in
+    List.length (List.sort_uniq Stdlib.compare vars) = List.length vars
+  in
+  List.iter
+    (fun (r : Model.row) ->
+      let neg = List.map (fun (coef, v) -> (-.coef, v)) r.terms in
+      (match r.sense with
+      | Model.Le -> add_lrow r.terms r.rhs
+      | Model.Ge -> add_lrow neg (-.r.rhs)
+      | Model.Eq ->
+        add_lrow r.terms r.rhs;
+        add_lrow neg (-.r.rhs));
+      if r.sense = Model.Ge && is_unit_cover r then
+        let cvars =
+          Array.of_list (List.map (fun (_, v) -> (v : Model.var :> int)) r.terms)
+        in
+        covers :=
+          {
+            cvars;
+            need = int_of_float (Float.round r.rhs);
+            ones = 0;
+            free = Array.length cvars;
+          }
+          :: !covers)
+    (Model.rows model);
+  let lrows = Array.of_list (List.rev !lrows) in
+  let covers = Array.of_list (List.rev !covers) in
+  let occ_count = Array.make n 0 and cocc_count = Array.make n 0 in
+  Array.iter (fun r -> Array.iter (fun v -> occ_count.(v) <- occ_count.(v) + 1) r.vidx) lrows;
+  Array.iter (fun cv -> Array.iter (fun v -> cocc_count.(v) <- cocc_count.(v) + 1) cv.cvars) covers;
+  let occ_row = Array.init n (fun v -> Array.make occ_count.(v) 0) in
+  let occ_coef = Array.init n (fun v -> Array.make occ_count.(v) 0.0) in
+  let cocc = Array.init n (fun v -> Array.make cocc_count.(v) 0) in
+  Array.fill occ_count 0 n 0;
+  Array.fill cocc_count 0 n 0;
+  Array.iteri
+    (fun ri r ->
+      Array.iteri
+        (fun k v ->
+          occ_row.(v).(occ_count.(v)) <- ri;
+          occ_coef.(v).(occ_count.(v)) <- r.vcoef.(k);
+          occ_count.(v) <- occ_count.(v) + 1)
+        r.vidx)
+    lrows;
+  Array.iteri
+    (fun ci cv ->
+      Array.iter
+        (fun v ->
+          cocc.(v).(cocc_count.(v)) <- ci;
+          cocc_count.(v) <- cocc_count.(v) + 1)
+        cv.cvars)
+    covers;
+  let neg_free = Array.fold_left (fun acc x -> acc +. Float.min x 0.0) 0.0 c in
+  {
+    n;
+    c;
+    all_int;
+    lrows;
+    covers;
+    occ_row;
+    occ_coef;
+    cocc;
+    value = Array.make n (-1);
+    trail = Array.make (max n 1) 0;
+    trail_len = 0;
+    obj_fixed = 0.0;
+    neg_free;
+    used_stamp = Array.make n 0;
+    stamp = 0;
+    best = None;
+    nodes = 0;
+    lp_calls = 0;
+    stopped = false;
+    root_bound = neg_infinity;
+  }
+
+let assign st v b =
+  st.value.(v) <- b;
+  st.trail.(st.trail_len) <- v;
+  st.trail_len <- st.trail_len + 1;
+  let bf = if b = 1 then 1.0 else 0.0 in
+  let rows = st.occ_row.(v) and coefs = st.occ_coef.(v) in
+  for k = 0 to Array.length rows - 1 do
+    let a = coefs.(k) in
+    st.lrows.(rows.(k)).minact <-
+      st.lrows.(rows.(k)).minact +. ((a *. bf) -. Float.min a 0.0)
+  done;
+  Array.iter
+    (fun ci ->
+      let cv = st.covers.(ci) in
+      cv.free <- cv.free - 1;
+      if b = 1 then cv.ones <- cv.ones + 1)
+    st.cocc.(v);
+  if st.c.(v) < 0.0 then st.neg_free <- st.neg_free -. st.c.(v);
+  if b = 1 then st.obj_fixed <- st.obj_fixed +. st.c.(v)
+
+let undo_to st mark =
+  while st.trail_len > mark do
+    st.trail_len <- st.trail_len - 1;
+    let v = st.trail.(st.trail_len) in
+    let b = st.value.(v) in
+    st.value.(v) <- -1;
+    let bf = if b = 1 then 1.0 else 0.0 in
+    let rows = st.occ_row.(v) and coefs = st.occ_coef.(v) in
+    for k = 0 to Array.length rows - 1 do
+      let a = coefs.(k) in
+      st.lrows.(rows.(k)).minact <-
+        st.lrows.(rows.(k)).minact -. ((a *. bf) -. Float.min a 0.0)
+    done;
+    Array.iter
+      (fun ci ->
+        let cv = st.covers.(ci) in
+        cv.free <- cv.free + 1;
+        if b = 1 then cv.ones <- cv.ones - 1)
+      st.cocc.(v);
+    if st.c.(v) < 0.0 then st.neg_free <- st.neg_free +. st.c.(v);
+    if b = 1 then st.obj_fixed <- st.obj_fixed -. st.c.(v)
+  done
+
+exception Conflict
+
+(* Enforce bound-consistency on one row; may assign further variables
+   (which lengthens the trail and will be processed by the caller). *)
+let force_row st ri =
+  let r = st.lrows.(ri) in
+  if r.minact > r.rhs +. eps then raise Conflict;
+  let slack = r.rhs -. r.minact in
+  for k = 0 to Array.length r.vidx - 1 do
+    let v = r.vidx.(k) in
+    if st.value.(v) = -1 then begin
+      let a = r.vcoef.(k) in
+      if a > slack +. eps then assign st v 0
+      else if -.a > slack +. eps then assign st v 1
+    end
+  done
+
+(* Process trail entries from [mark] to fixpoint. *)
+let propagate st mark =
+  let q = ref mark in
+  try
+    while !q < st.trail_len do
+      let v = st.trail.(!q) in
+      incr q;
+      let rows = st.occ_row.(v) in
+      for k = 0 to Array.length rows - 1 do
+        force_row st rows.(k)
+      done
+    done;
+    true
+  with Conflict -> false
+
+let propagate_root st =
+  try
+    for ri = 0 to Array.length st.lrows - 1 do
+      force_row st ri
+    done;
+    propagate st 0
+  with Conflict -> false
+
+(* Lower bound = cost already committed
+                + negative costs still collectable
+                + cheapest completions of disjoint unsatisfied covers. *)
+let bound st =
+  let base = st.obj_fixed +. st.neg_free in
+  st.stamp <- st.stamp + 1;
+  let extra = ref 0.0 in
+  Array.iter
+    (fun cv ->
+      if cv.ones < cv.need then begin
+        let free_costs = ref [] in
+        let clean = ref true in
+        Array.iter
+          (fun v ->
+            if st.value.(v) = -1 then
+              if st.used_stamp.(v) = st.stamp then clean := false
+              else free_costs := Float.max st.c.(v) 0.0 :: !free_costs)
+          cv.cvars;
+        if !clean then begin
+          let costs = List.sort Stdlib.compare !free_costs in
+          let needed = cv.need - cv.ones in
+          let rec take k = function
+            | cost :: rest when k > 0 -> cost +. take (k - 1) rest
+            | _ -> 0.0
+          in
+          extra := !extra +. take needed costs;
+          Array.iter
+            (fun v -> if st.value.(v) = -1 then st.used_stamp.(v) <- st.stamp)
+            cv.cvars
+        end
+      end)
+    st.covers;
+  base +. !extra
+
+(* LP relaxation over the free variables.  Returns [None] when skipped,
+   [Some (bound, solution_opt)]; raises [Conflict] when LP-infeasible. *)
+let lp_bound st cfg =
+  let free = ref 0 in
+  let map = Array.make st.n (-1) in
+  for v = 0 to st.n - 1 do
+    if st.value.(v) = -1 then begin
+      map.(v) <- !free;
+      incr free
+    end
+  done;
+  let nfree = !free in
+  if nfree = 0 then None
+  else begin
+    let rows = ref [] and nrows = ref 0 in
+    Array.iter
+      (fun (r : lrow) ->
+        let coeffs = ref [] and fixed = ref 0.0 and has_free = ref false in
+        Array.iteri
+          (fun k v ->
+            match st.value.(v) with
+            | -1 ->
+              has_free := true;
+              coeffs := (map.(v), r.vcoef.(k)) :: !coeffs
+            | 1 -> fixed := !fixed +. r.vcoef.(k)
+            | _ -> ())
+          r.vidx;
+        if !has_free then begin
+          incr nrows;
+          rows :=
+            { Simplex.coeffs = !coeffs; sense = Simplex.Le; rhs = r.rhs -. !fixed }
+            :: !rows
+        end)
+      st.lrows;
+    if !nrows * nfree > cfg.lp_size_limit then None
+    else begin
+      let minimize = ref [] in
+      for v = 0 to st.n - 1 do
+        if st.value.(v) = -1 && st.c.(v) <> 0.0 then
+          minimize := (map.(v), st.c.(v)) :: !minimize
+      done;
+      let problem =
+        {
+          Simplex.num_vars = nfree;
+          minimize = !minimize;
+          rows = !rows;
+          upper = Array.make nfree 1.0;
+        }
+      in
+      st.lp_calls <- st.lp_calls + 1;
+      match Simplex.solve ~max_iters:20_000 problem with
+      | Simplex.Optimal { objective; solution } ->
+        Some (st.obj_fixed +. objective, Some (map, solution))
+      | Simplex.Infeasible -> raise Conflict
+      | Simplex.Unbounded | Simplex.Iteration_limit -> None
+    end
+  end
+
+(* Branch on the tightest unsatisfied cover (fewest spare variables),
+   inside it on the variable covering the most unsatisfied covers.  With
+   every cover satisfied, finish cheapest-first: negative-cost variables
+   at 1, others at 0. *)
+let pick_branch st =
+  let best_cover = ref (-1) and best_slack = ref max_int in
+  Array.iteri
+    (fun ci cv ->
+      if cv.ones < cv.need then begin
+        let slack = cv.free - (cv.need - cv.ones) in
+        if slack < !best_slack then begin
+          best_slack := slack;
+          best_cover := ci
+        end
+      end)
+    st.covers;
+  if !best_cover >= 0 then begin
+    let cv = st.covers.(!best_cover) in
+    let best_v = ref (-1) and best_score = ref neg_infinity in
+    Array.iter
+      (fun v ->
+        if st.value.(v) = -1 then begin
+          let unsat = ref 0 in
+          Array.iter
+            (fun ci ->
+              let c2 = st.covers.(ci) in
+              if c2.ones < c2.need then incr unsat)
+            st.cocc.(v);
+          let score = float_of_int !unsat -. (0.01 *. st.c.(v)) in
+          if score > !best_score then begin
+            best_score := score;
+            best_v := v
+          end
+        end)
+      cv.cvars;
+    Some (!best_v, 1)
+  end
+  else begin
+    (* No unsatisfied covers: fix remaining frees toward their cheap value. *)
+    let neg = ref (-1) and any = ref (-1) in
+    (try
+       for v = 0 to st.n - 1 do
+         if st.value.(v) = -1 then begin
+           if st.c.(v) < 0.0 then begin
+             neg := v;
+             raise Exit
+           end;
+           if !any < 0 then any := v
+         end
+       done
+     with Exit -> ());
+    if !neg >= 0 then Some (!neg, 1)
+    else if !any >= 0 then Some (!any, 0)
+    else None
+  end
+
+exception Stop
+
+let cutoff st =
+  match st.best with
+  | None -> infinity
+  | Some b -> if st.all_int then b.objective -. 0.5 else b.objective -. 1e-9
+
+let record_incumbent st =
+  let objective = st.obj_fixed in
+  let improved =
+    match st.best with None -> true | Some b -> objective < b.objective -. 1e-9
+  in
+  if improved then
+    st.best <-
+      Some { values = Array.map (fun v -> v = 1) st.value; objective };
+  (* The search proved a matching lower bound at the root: stop early. *)
+  if objective <= st.root_bound +. eps then raise Stop
+
+let rec dfs st cfg ~start ~depth =
+  st.nodes <- st.nodes + 1;
+  if st.nodes land 255 = 0 && Sys.time () -. start > cfg.time_limit then begin
+    st.stopped <- true;
+    raise Stop
+  end;
+  if st.nodes > cfg.node_limit then begin
+    st.stopped <- true;
+    raise Stop
+  end;
+  let lb = bound st in
+  if lb >= cutoff st then ()
+  else begin
+    let lb_and_hint =
+      if depth <= cfg.lp_depth && depth > 0 then
+        try lp_bound st cfg with Conflict -> Some (infinity, None)
+      else None
+    in
+    let lb =
+      match lb_and_hint with Some (b, _) -> Float.max lb b | None -> lb
+    in
+    let lb = if st.all_int then Float.round (Float.ceil (lb -. eps)) else lb in
+    if lb >= cutoff st then ()
+    else
+      match pick_branch st with
+      | None -> record_incumbent st
+      | Some (v, first) ->
+        let try_value b =
+          let mark = st.trail_len in
+          assign st v b;
+          if propagate st mark then dfs st cfg ~start ~depth:(depth + 1);
+          undo_to st mark
+        in
+        try_value first;
+        try_value (1 - first)
+  end
+
+let solve ?(config = default_config) ?warm_start model =
+  let start = Sys.time () in
+  let st = build_state model in
+  (match warm_start with
+  | Some values
+    when Array.length values = st.n && check_feasible model values ->
+    st.best <- Some { values = Array.copy values; objective = objective_value model values }
+  | _ -> ());
+  let finish outcome =
+    ( outcome,
+      {
+        nodes = st.nodes;
+        lp_calls = st.lp_calls;
+        elapsed = Sys.time () -. start;
+        root_bound = st.root_bound;
+      } )
+  in
+  if not (propagate_root st) then finish Infeasible
+  else begin
+    let root_ok = ref true in
+    (if config.lp_root then
+       match (try lp_bound st config with Conflict -> root_ok := false; None) with
+       | Some (b, hint) ->
+         st.root_bound <- b;
+         (* An integral LP optimum is already the answer. *)
+         (match hint with
+         | Some (map, lp_sol) ->
+           let integral =
+             Array.for_all
+               (fun x -> Float.abs (x -. Float.round x) < 1e-7)
+               lp_sol
+           in
+           if integral then begin
+             let values = Array.map (fun v -> v = 1) st.value in
+             Array.iteri
+               (fun v f -> if f >= 0 then values.(v) <- lp_sol.(f) > 0.5)
+               map;
+             if check_feasible model values then
+               let objective = objective_value model values in
+               let better =
+                 match st.best with
+                 | None -> true
+                 | Some b -> objective < b.objective -. 1e-9
+               in
+               if better then st.best <- Some { values; objective }
+           end
+         | None -> ())
+       | None -> ());
+    if not !root_ok then finish Infeasible
+    else begin
+      let proven =
+        match st.best with
+        | Some b when b.objective <= st.root_bound +. eps -> true
+        | _ -> false
+      in
+      if proven then finish (Optimal (Option.get st.best))
+      else begin
+        (try dfs st config ~start ~depth:0 with Stop -> ());
+        match (st.stopped, st.best) with
+        | false, Some b -> finish (Optimal b)
+        | false, None -> finish Infeasible
+        | true, Some b -> finish (Feasible b)
+        | true, None -> finish Unknown
+      end
+    end
+  end

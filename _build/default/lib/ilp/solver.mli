@@ -1,0 +1,59 @@
+(** Exact 0-1 ILP solving by propagation-guided branch and bound.
+
+    The search is exhaustive — like the paper's CPLEX runs it returns
+    either a proven optimum or a proof of infeasibility (our encoding is
+    "precise": no false negatives) — unless a node or time limit stops it
+    early, in which case the best incumbent (if any) is returned.
+
+    Machinery, in the order it earns its keep on placement instances:
+
+    - {b unit-style propagation} over activity bounds: fixing a DROP
+      placement immediately forces its dependent PERMITs, capacity rows fix
+      variables to 0 as they fill, covering rows fix the last candidate
+      switch to 1;
+    - {b covering-aware lower bounds}: unsatisfied disjoint covering rows
+      each demand their cheapest remaining variables — this mirrors "every
+      un-placed DROP rule costs at least one more slot";
+    - {b LP relaxation bounds} (dense bounded simplex) at the root and at
+      shallow nodes; an integral LP optimum short-circuits the search, which
+      is why under-constrained instances return quickly (the effect the
+      paper observes with CPLEX);
+    - {b branching} on the tightest unsatisfied covering row, most-covering
+      variable first, value 1 first. *)
+
+type solution = { values : bool array; objective : float }
+
+type outcome =
+  | Optimal of solution  (** proven optimal *)
+  | Feasible of solution  (** limit hit; best incumbent, optimality unknown *)
+  | Infeasible  (** proven: no assignment satisfies the constraints *)
+  | Unknown  (** limit hit before any incumbent was found *)
+
+type config = {
+  time_limit : float;  (** CPU seconds; [infinity] disables *)
+  node_limit : int;
+  lp_root : bool;  (** solve the root LP relaxation *)
+  lp_depth : int;  (** also solve LP bounds at nodes of depth <= this *)
+  lp_size_limit : int;  (** skip LPs larger than rows*cols > this *)
+}
+
+val default_config : config
+(** 60 s, 2M nodes, root LP plus LP to depth 2, size limit 4M. *)
+
+type stats = {
+  nodes : int;
+  lp_calls : int;
+  elapsed : float;  (** CPU seconds *)
+  root_bound : float;  (** best lower bound proven at the root *)
+}
+
+val solve : ?config:config -> ?warm_start:bool array -> Model.t -> outcome * stats
+(** [warm_start] seeds the incumbent if it satisfies every constraint
+    (silently ignored otherwise). *)
+
+val check_feasible : Model.t -> bool array -> bool
+(** Exact 0-1 feasibility check of an assignment against every row. *)
+
+val objective_value : Model.t -> bool array -> float
+
+val pp_outcome : Format.formatter -> outcome -> unit

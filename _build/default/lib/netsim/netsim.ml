@@ -1,0 +1,39 @@
+type entry = { tags : int list; rule : Acl.Rule.t }
+
+type t = { net : Topo.Net.t; tables : entry list array }
+
+let make net tables =
+  if Array.length tables <> Topo.Net.num_switches net then
+    invalid_arg "Netsim.make: one table per switch required";
+  { net; tables = Array.copy tables }
+
+let table t k = t.tables.(k)
+
+let table_size t k = List.length t.tables.(k)
+
+let total_entries t =
+  Array.fold_left (fun acc tbl -> acc + List.length tbl) 0 t.tables
+
+let step t ~switch ~ingress packet =
+  let applies e = List.mem ingress e.tags && Acl.Rule.matches e.rule packet in
+  match List.find_opt applies t.tables.(switch) with
+  | Some e -> e.rule.Acl.Rule.action
+  | None -> Acl.Rule.Permit
+
+type outcome = Delivered | Dropped of int
+
+let forward t (path : Routing.Path.t) packet =
+  let n = Array.length path.switches in
+  let rec go i =
+    if i >= n then Delivered
+    else
+      let switch = path.switches.(i) in
+      match step t ~switch ~ingress:path.ingress packet with
+      | Acl.Rule.Drop -> Dropped switch
+      | Acl.Rule.Permit -> go (i + 1)
+  in
+  go 0
+
+let pp_outcome fmt = function
+  | Delivered -> Format.pp_print_string fmt "delivered"
+  | Dropped s -> Format.fprintf fmt "dropped@s%d" s

@@ -1,0 +1,41 @@
+(** Data-plane simulator: installed switch tables plus packet walking.
+
+    This is the ground truth the placement verifier tests against: a
+    packet enters at an ingress host, is stamped with that ingress's tag
+    (the paper's Section IV-A5 VLAN tagging), follows its routed path, and
+    at every switch is matched against the installed prioritized table.
+    Any switch DROP kills the packet; reaching the end of the path
+    delivers it. *)
+
+type entry = {
+  tags : int list;
+      (** ingress policies this entry applies to; a merged rule carries
+          several tags (Section IV-B), a plain rule exactly one *)
+  rule : Acl.Rule.t;
+}
+
+type t
+
+val make : Topo.Net.t -> entry list array -> t
+(** [make net tables] with [tables.(k)] the prioritized table of switch
+    [k] in match order (first entry wins).  Raises [Invalid_argument] when
+    the array length differs from the switch count. *)
+
+val table : t -> int -> entry list
+
+val table_size : t -> int -> int
+(** Installed entries at a switch (each merged entry counts once — that is
+    the point of merging). *)
+
+val total_entries : t -> int
+
+val step : t -> switch:int -> ingress:int -> Ternary.Packet.t -> Acl.Rule.action
+(** First-match outcome of one switch for a packet tagged [ingress];
+    [Permit] when nothing matches. *)
+
+type outcome = Delivered | Dropped of int  (** switch where it died *)
+
+val forward : t -> Routing.Path.t -> Ternary.Packet.t -> outcome
+(** Walk the packet along the path's switches. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

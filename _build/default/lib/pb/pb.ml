@@ -1,0 +1,74 @@
+type encoding = [ `Native | `Sequential ]
+
+type t = {
+  solver : Cdcl.t;
+  encoding : encoding;
+  mutable problem_vars : int;
+  mutable aux_vars : int;
+}
+
+let create ?(encoding = `Native) () =
+  { solver = Cdcl.create (); encoding; problem_vars = 0; aux_vars = 0 }
+
+let fresh t =
+  t.problem_vars <- t.problem_vars + 1;
+  Cdcl.new_var t.solver
+
+let fresh_aux t =
+  t.aux_vars <- t.aux_vars + 1;
+  Cdcl.new_var t.solver
+
+let num_vars t = t.problem_vars
+
+let num_aux t = t.aux_vars
+
+let add_clause t lits = Cdcl.add_clause t.solver lits
+
+(* Sinz's LTSeq sequential-counter encoding of  sum(lits) <= k:
+   register s.(i).(j) = "at least j+1 of the first i+1 literals are true". *)
+let sequential_at_most t lits k =
+  let xs = Array.of_list lits in
+  let n = Array.length xs in
+  if k < 0 then add_clause t [] (* unsatisfiable *)
+  else if k = 0 then Array.iter (fun x -> add_clause t [ -x ]) xs
+  else if k < n then begin
+    let s = Array.init (n - 1) (fun _ -> Array.init k (fun _ -> fresh_aux t)) in
+    add_clause t [ -xs.(0); s.(0).(0) ];
+    for j = 1 to k - 1 do
+      add_clause t [ -s.(0).(j) ]
+    done;
+    for i = 1 to n - 2 do
+      add_clause t [ -xs.(i); s.(i).(0) ];
+      add_clause t [ -s.(i - 1).(0); s.(i).(0) ];
+      for j = 1 to k - 1 do
+        add_clause t [ -xs.(i); -s.(i - 1).(j - 1); s.(i).(j) ];
+        add_clause t [ -s.(i - 1).(j); s.(i).(j) ]
+      done;
+      add_clause t [ -xs.(i); -s.(i - 1).(k - 1) ]
+    done;
+    if n >= 2 then add_clause t [ -xs.(n - 1); -s.(n - 2).(k - 1) ]
+  end
+
+let at_most t lits k =
+  match t.encoding with
+  | `Native -> Cdcl.add_at_most t.solver lits k
+  | `Sequential -> sequential_at_most t lits k
+
+let at_least t lits k =
+  let n = List.length lits in
+  if k = 1 then add_clause t lits
+  else if k > 0 then at_most t (List.map (fun l -> -l) lits) (n - k)
+
+let exactly t lits k =
+  at_most t lits k;
+  at_least t lits k
+
+let and_eq t v lits =
+  List.iter (fun l -> add_clause t [ -v; l ]) lits;
+  add_clause t (v :: List.map (fun l -> -l) lits)
+
+let implies t a b = add_clause t [ -a; b ]
+
+let solve ?conflict_limit t = Cdcl.solve ?conflict_limit t.solver
+
+let num_conflicts t = Cdcl.num_conflicts t.solver

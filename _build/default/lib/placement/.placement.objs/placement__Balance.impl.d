@@ -1,0 +1,1 @@
+lib/placement/balance.ml: Array Instance Solution Solve

@@ -1,0 +1,1 @@
+lib/placement/balance.mli: Instance Solve

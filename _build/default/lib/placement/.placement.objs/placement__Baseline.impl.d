@@ -1,0 +1,1 @@
+lib/placement/baseline.ml: Acl Array Depgraph Encode Hashtbl Instance Layout List Merge Option Routing Solution Ternary Topo

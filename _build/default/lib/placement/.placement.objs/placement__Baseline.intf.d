@@ -1,0 +1,1 @@
+lib/placement/baseline.mli: Instance Layout Solution

@@ -1,0 +1,1 @@
+lib/placement/depgraph.ml: Acl Format Hashtbl Int List Map Ternary

@@ -1,0 +1,1 @@
+lib/placement/depgraph.mli: Acl Format Ternary

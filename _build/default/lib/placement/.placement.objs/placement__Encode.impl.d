@@ -1,0 +1,1 @@
+lib/placement/encode.ml: Array Format Ilp Layout List Printf Solution

@@ -1,0 +1,1 @@
+lib/placement/encode.mli: Format Ilp Layout Solution

@@ -1,0 +1,1 @@
+lib/placement/incremental.ml: Array Encode Instance List Routing Solution Solve

@@ -1,0 +1,1 @@
+lib/placement/incremental.mli: Acl Encode Routing Solution Solve

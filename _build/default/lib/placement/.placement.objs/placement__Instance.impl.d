@@ -1,0 +1,1 @@
+lib/placement/instance.ml: Acl Array Format List Routing Stdlib Topo

@@ -1,0 +1,1 @@
+lib/placement/instance.mli: Acl Format Routing Topo

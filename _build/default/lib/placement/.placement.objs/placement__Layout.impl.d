@@ -1,0 +1,1 @@
+lib/placement/layout.ml: Acl Array Depgraph Float Format Hashtbl Instance List Merge Routing Ternary Topo

@@ -1,0 +1,1 @@
+lib/placement/layout.mli: Acl Format Hashtbl Instance Merge Ternary

@@ -1,0 +1,1 @@
+lib/placement/merge.ml: Acl Array Hashtbl Instance List Option Ternary

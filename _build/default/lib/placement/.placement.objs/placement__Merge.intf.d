@@ -1,0 +1,1 @@
+lib/placement/merge.mli: Acl Hashtbl Instance Ternary

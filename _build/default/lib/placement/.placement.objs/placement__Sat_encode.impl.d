@@ -1,0 +1,1 @@
+lib/placement/sat_encode.ml: Array Baseline Cdcl Encode Hashtbl Layout List Pb Solution

@@ -1,0 +1,1 @@
+lib/placement/sat_encode.mli: Layout Pb Solution

@@ -1,0 +1,1 @@
+lib/placement/solution.ml: Acl Array Depgraph Format Hashtbl Instance Layout List Merge Tag_cover Ternary Topo

@@ -1,0 +1,1 @@
+lib/placement/solution.mli: Acl Format Instance Layout

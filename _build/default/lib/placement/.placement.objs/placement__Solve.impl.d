@@ -1,0 +1,1 @@
+lib/placement/solve.ml: Acl Array Baseline Encode Float Format Ilp Instance Layout List Merge Option Sat_encode Solution Sys Ternary

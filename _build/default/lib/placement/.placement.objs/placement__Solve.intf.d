@@ -1,0 +1,1 @@
+lib/placement/solve.mli: Encode Format Ilp Instance Layout Merge Solution Ternary

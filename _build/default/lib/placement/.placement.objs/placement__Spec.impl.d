@@ -1,0 +1,1 @@
+lib/placement/spec.ml: Acl Array Buffer Field Format Fun In_channel Instance List Prefix Printf Proto Range Routing Stdlib String Ternary Topo

@@ -1,0 +1,1 @@
+lib/placement/spec.mli: Instance

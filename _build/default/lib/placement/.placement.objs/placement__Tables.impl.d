@@ -1,0 +1,1 @@
+lib/placement/tables.ml: Acl Array Instance List Netsim Option Solution Stdlib Tag_cover

@@ -1,0 +1,1 @@
+lib/placement/tables.mli: Netsim Solution

@@ -1,0 +1,1 @@
+lib/placement/tag_cover.mli:

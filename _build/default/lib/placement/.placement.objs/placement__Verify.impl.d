@@ -1,0 +1,1 @@
+lib/placement/verify.ml: Acl Array Depgraph Format Hashtbl Instance Layout List Netsim Routing Solution Tables Ternary Topo

@@ -1,0 +1,1 @@
+lib/placement/verify.mli: Acl Format Layout Netsim Prng Solution Ternary

@@ -1,0 +1,21 @@
+(** Capacity-slack optimization (the paper's Section VI mentions "slack
+    in table capacity" among the objectives the framework can serve).
+
+    Instead of minimizing total rules, find the smallest uniform
+    per-switch budget [u] such that a placement exists with every switch
+    holding at most [min(C_k, u)] entries — i.e. minimize the maximum
+    table occupancy, which maximizes the slack left for future rules on
+    the fullest switch.  Implemented as a binary search over [u], each
+    probe being an ordinary feasibility solve. *)
+
+type result = {
+  budget : int;  (** the minimal feasible uniform bound *)
+  report : Solve.report;  (** the placement found at that bound *)
+  probes : int;  (** solves performed by the binary search *)
+}
+
+val min_max_usage : ?options:Solve.options -> Instance.t -> result option
+(** [None] when even the instance's own capacities are infeasible.  The
+    returned placement also minimizes total rules among the probes at
+    the final bound (the inner solver still optimizes its objective).
+    The given [options]' engine and limits apply to every probe. *)

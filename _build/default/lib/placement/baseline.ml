@@ -1,0 +1,223 @@
+type greedy_outcome =
+  | Placed of Solution.t
+  | Stuck of { ingress : int; egress : int }
+
+(* Greedy placement over the layout's variable space, two stages:
+
+   Stage A (only with a merge plan): network-wide groups whose members
+   have no permit dependencies — the typical shared blacklist — are
+   placed once per switch of a greedily chosen path cover.  Every member
+   policy whose [S_i] contains the chosen switch shares the single merged
+   entry, so the group costs one slot per cover switch.
+
+   Stage B: for each path, the block of still-uncovered relevant DROPs
+   plus their dependent PERMITs lands whole on the first switch (walking
+   from the ingress side) whose remaining capacity absorbs the entries
+   not already installed there for this policy. *)
+let greedy_raw (layout : Layout.t) =
+  let inst = layout.Layout.instance in
+  let n_switches = Topo.Net.num_switches inst.Instance.net in
+  let used = Array.make n_switches 0 in
+  let placed = Hashtbl.create 256 in
+  (* (ingress, priority, switch) *)
+  let place i p k =
+    if not (Hashtbl.mem placed (i, p, k)) then begin
+      Hashtbl.replace placed (i, p, k) ();
+      used.(k) <- used.(k) + 1
+    end
+  in
+  let deps_of = Hashtbl.create 16 in
+  List.iter
+    (fun (i, q) -> Hashtbl.replace deps_of i (Depgraph.build q))
+    inst.Instance.policies;
+  (* Paths already covered for a given (ingress, drop priority). *)
+  let covered = Hashtbl.create 256 in
+  (* --- Stage A: merged placement of dependency-free groups. --- *)
+  List.iter
+    (fun (g : Merge.group) ->
+      let members =
+        List.filter_map
+          (fun (m : Merge.member) ->
+            match Instance.policy_of inst m.Merge.ingress with
+            | None -> None
+            | Some q ->
+              List.find_opt
+                (fun (r : Acl.Rule.t) -> r.priority = m.Merge.priority)
+                (Acl.Policy.rules q)
+              |> Option.map (fun r -> (m, r)))
+          g.Merge.members
+      in
+      let dependency_free =
+        List.for_all
+          (fun ((m : Merge.member), r) ->
+            Acl.Rule.is_permit r
+            || Depgraph.dependencies (Hashtbl.find deps_of m.Merge.ingress) r = [])
+          members
+      in
+      if dependency_free && g.Merge.action = Acl.Rule.Drop then begin
+        (* Paths each non-dummy member must cover. *)
+        let targets =
+          List.concat_map
+            (fun ((m : Merge.member), (r : Acl.Rule.t)) ->
+              if m.Merge.is_dummy then []
+              else
+                List.filter_map
+                  (fun (p : Routing.Path.t) ->
+                    if
+                      (not layout.Layout.sliced)
+                      || Ternary.Field.overlaps r.field p.Routing.Path.flow
+                    then Some (m.Merge.ingress, r.priority, p)
+                    else None)
+                  (Routing.Table.paths_from inst.Instance.routing
+                     m.Merge.ingress))
+            members
+        in
+        let uncovered = ref targets in
+        let progress = ref true in
+        while !uncovered <> [] && !progress do
+          (* Pick the switch with room that covers the most paths. *)
+          let count = Array.make n_switches 0 in
+          List.iter
+            (fun (_, _, p) ->
+              Array.iter
+                (fun k -> count.(k) <- count.(k) + 1)
+                p.Routing.Path.switches)
+            !uncovered;
+          let best = ref (-1) in
+          Array.iteri
+            (fun k c ->
+              if
+                c > 0
+                && used.(k) < inst.Instance.capacities.(k)
+                && (!best < 0 || c > count.(!best))
+              then best := k)
+            count;
+          match !best with
+          | -1 -> progress := false
+          | k ->
+            used.(k) <- used.(k) + 1;
+            (* All members that can share this switch do. *)
+            List.iter
+              (fun ((m : Merge.member), (r : Acl.Rule.t)) ->
+                if
+                  List.mem k
+                    (Routing.Table.switches_from inst.Instance.routing
+                       m.Merge.ingress)
+                then
+                  Hashtbl.replace placed (m.Merge.ingress, r.priority, k) ())
+              members;
+            uncovered :=
+              List.filter
+                (fun (i, prio, p) ->
+                  if Routing.Path.mem p k then begin
+                    Hashtbl.replace covered (i, prio, p) ();
+                    false
+                  end
+                  else true)
+                !uncovered
+        done
+      end)
+    layout.Layout.plan.Merge.groups;
+  (* --- Stage B: per-path block placement. --- *)
+  let failure = ref None in
+  List.iter
+    (fun (i, q) ->
+      if !failure = None then begin
+        let dep = Hashtbl.find deps_of i in
+        let drops = Acl.Policy.drops q in
+        List.iter
+          (fun (path : Routing.Path.t) ->
+            if !failure = None then begin
+              let block_drops =
+                List.filter
+                  (fun (w : Acl.Rule.t) ->
+                    (not (Layout.is_dummy layout ~ingress:i ~priority:w.priority))
+                    && (not (Hashtbl.mem covered (i, w.priority, path)))
+                    && ((not layout.Layout.sliced)
+                       || Ternary.Field.overlaps w.field path.Routing.Path.flow))
+                  drops
+              in
+              if block_drops <> [] then begin
+                let block =
+                  block_drops @ Depgraph.required_permits dep block_drops
+                in
+                let fits k =
+                  let allowed =
+                    List.for_all
+                      (fun (r : Acl.Rule.t) ->
+                        not
+                          (Layout.is_forbidden layout ~ingress:i
+                             ~priority:r.priority ~switch:k))
+                      block
+                  in
+                  let extra =
+                    List.length
+                      (List.filter
+                         (fun (r : Acl.Rule.t) ->
+                           not (Hashtbl.mem placed (i, r.priority, k)))
+                         block)
+                  in
+                  allowed && used.(k) + extra <= inst.Instance.capacities.(k)
+                in
+                match
+                  Array.fold_left
+                    (fun acc k ->
+                      match acc with
+                      | Some _ -> acc
+                      | None -> if fits k then Some k else None)
+                    None path.Routing.Path.switches
+                with
+                | Some k ->
+                  List.iter
+                    (fun (r : Acl.Rule.t) -> place i r.priority k)
+                    block
+                | None ->
+                  failure :=
+                    Some
+                      (Stuck { ingress = i; egress = path.Routing.Path.egress })
+              end
+            end)
+          (Routing.Table.paths_from inst.Instance.routing i)
+      end)
+    inst.Instance.policies;
+  match !failure with Some f -> Error f | None -> Ok placed
+
+let assignment_of_placed (layout : Layout.t) placed =
+  let n = Layout.num_vars layout in
+  let assignment = Array.make n false in
+  Array.iteri
+    (fun v key ->
+      match key with
+      | Layout.Place { ingress; priority; switch } ->
+        if Hashtbl.mem placed (ingress, priority, switch) then
+          assignment.(v) <- true
+      | Layout.Merged _ -> ())
+    layout.Layout.keys;
+  (* Honor the AND definitions: a merged variable is set exactly when all
+     its members are. *)
+  List.iter
+    (fun (mv, members) ->
+      assignment.(mv) <- List.for_all (fun v -> assignment.(v)) members)
+    layout.Layout.merge_defs;
+  assignment
+
+let greedy_assignment layout =
+  match greedy_raw layout with
+  | Error _ -> None
+  | Ok placed -> Some (assignment_of_placed layout placed)
+
+let greedy layout =
+  match greedy_raw layout with
+  | Error f -> f
+  | Ok placed ->
+    let assignment = assignment_of_placed layout placed in
+    let objective = Encode.assignment_objective layout assignment in
+    Placed (Solution.of_assignment layout assignment ~objective)
+
+let replicate_all_count (inst : Instance.t) =
+  List.fold_left
+    (fun acc (i, q) ->
+      acc
+      + List.length (Routing.Table.paths_from inst.Instance.routing i)
+        * Acl.Policy.size q)
+    0 inst.Instance.policies

@@ -1,0 +1,27 @@
+(** Comparison baselines from the paper's Section V discussion.
+
+    - {!greedy}: the ingress-first heuristic the paper suggests for small
+      online updates — walk each path from its ingress and install the
+      path's whole required block (relevant DROPs + their PERMITs) at the
+      first switch with room, sharing entries already installed for the
+      same policy.  Fast, feasible-or-fail, never merges, and generally
+      suboptimal; also used to warm-start the ILP.
+    - {!replicate_all_count}: the rule cost of the naive "place the full
+      policy on every path" strategy the paper attributes to prior work
+      (p x r entries), against which Table II's modest duplication
+      overhead is contrasted. *)
+
+type greedy_outcome =
+  | Placed of Solution.t
+  | Stuck of { ingress : int; egress : int }
+      (** first path whose block fitted on none of its switches *)
+
+val greedy : Layout.t -> greedy_outcome
+
+val greedy_assignment : Layout.t -> bool array option
+(** The greedy placement as a layout assignment (merged variables set
+    consistently with their AND definitions), suitable as an ILP warm
+    start. *)
+
+val replicate_all_count : Instance.t -> int
+(** Sum over ingresses of (paths x policy size). *)

@@ -1,0 +1,146 @@
+type result = {
+  status : Encode.status;
+  solution : Solution.t option;
+  sub_report : Solve.report option;
+}
+
+let residual_capacities (sol : Solution.t) =
+  let usage = Solution.switch_usage sol in
+  Array.mapi
+    (fun k c -> max 0 (c - usage.(k)))
+    sol.Solution.instance.Instance.capacities
+
+(* Rebuild a combined solution record over the full (frozen + new)
+   instance. *)
+let combine ~(frozen : Solution.t) ~(sub : Solution.t) ~instance =
+  {
+    Solution.instance;
+    sliced = frozen.Solution.sliced || sub.Solution.sliced;
+    per_switch =
+      Array.map2 (fun a b -> a @ b) frozen.Solution.per_switch
+        sub.Solution.per_switch;
+    baseline_rule_count =
+      frozen.Solution.baseline_rule_count + sub.Solution.baseline_rule_count;
+    objective = frozen.Solution.objective +. sub.Solution.objective;
+  }
+
+let keep_policies inst ingresses =
+  List.filter (fun (i, _) -> List.mem i ingresses) inst.Instance.policies
+
+let drop_policies inst ingresses =
+  List.filter (fun (i, _) -> not (List.mem i ingresses)) inst.Instance.policies
+
+let paths_without routing ingresses =
+  List.filter
+    (fun (p : Routing.Path.t) -> not (List.mem p.Routing.Path.ingress ingresses))
+    (Routing.Table.paths routing)
+
+let solve_sub ?options ~net ~policies ~paths ~capacities () =
+  let routing = Routing.Table.of_paths paths in
+  let sub_inst =
+    Instance.make ~net ~routing ~policies ~capacities
+  in
+  Solve.run ?options sub_inst
+
+let install ?options ~(base : Solution.t) ~policies ~paths () =
+  let base_inst = base.Solution.instance in
+  List.iter
+    (fun (i, _) ->
+      if Instance.policy_of base_inst i <> None then
+        invalid_arg "Incremental.install: ingress already carries a policy")
+    policies;
+  let report =
+    solve_sub ?options ~net:base_inst.Instance.net ~policies ~paths
+      ~capacities:(residual_capacities base) ()
+  in
+  match report.Solve.solution with
+  | Some sub ->
+    let instance =
+      Instance.make ~net:base_inst.Instance.net
+        ~routing:
+          (Routing.Table.of_paths
+             (Routing.Table.paths base_inst.Instance.routing @ paths))
+        ~policies:(base_inst.Instance.policies @ report.Solve.instance.Instance.policies)
+        ~capacities:base_inst.Instance.capacities
+    in
+    {
+      status = report.Solve.status;
+      solution = Some (combine ~frozen:base ~sub ~instance);
+      sub_report = Some report;
+    }
+  | None ->
+    { status = report.Solve.status; solution = None; sub_report = Some report }
+
+let reroute ?options ~(base : Solution.t) ~ingresses ~new_paths () =
+  let base_inst = base.Solution.instance in
+  let moved = keep_policies base_inst ingresses in
+  if List.length moved <> List.length ingresses then
+    invalid_arg "Incremental.reroute: unknown ingress";
+  let stripped = Solution.strip_ingresses base ingresses in
+  let report =
+    solve_sub ?options ~net:base_inst.Instance.net ~policies:moved
+      ~paths:new_paths
+      ~capacities:(residual_capacities stripped) ()
+  in
+  match report.Solve.solution with
+  | Some sub ->
+    let instance =
+      Instance.make ~net:base_inst.Instance.net
+        ~routing:
+          (Routing.Table.of_paths
+             (paths_without base_inst.Instance.routing ingresses @ new_paths))
+        ~policies:
+          (drop_policies base_inst ingresses
+          @ report.Solve.instance.Instance.policies)
+        ~capacities:base_inst.Instance.capacities
+    in
+    let frozen = { stripped with Solution.instance } in
+    {
+      status = report.Solve.status;
+      solution = Some (combine ~frozen ~sub ~instance);
+      sub_report = Some report;
+    }
+  | None ->
+    { status = report.Solve.status; solution = None; sub_report = Some report }
+
+let remove ~(base : Solution.t) ~ingresses =
+  let base_inst = base.Solution.instance in
+  let stripped = Solution.strip_ingresses base ingresses in
+  let instance =
+    Instance.make ~net:base_inst.Instance.net
+      ~routing:(Routing.Table.of_paths (paths_without base_inst.Instance.routing ingresses))
+      ~policies:(drop_policies base_inst ingresses)
+      ~capacities:base_inst.Instance.capacities
+  in
+  { stripped with Solution.instance }
+
+let update_policy ?options ~(base : Solution.t) ~ingress ~policy () =
+  let base_inst = base.Solution.instance in
+  if Instance.policy_of base_inst ingress = None then
+    invalid_arg "Incremental.update_policy: unknown ingress";
+  let stripped = Solution.strip_ingresses base [ ingress ] in
+  let paths = Routing.Table.paths_from base_inst.Instance.routing ingress in
+  let report =
+    solve_sub ?options ~net:base_inst.Instance.net
+      ~policies:[ (ingress, policy) ]
+      ~paths
+      ~capacities:(residual_capacities stripped) ()
+  in
+  match report.Solve.solution with
+  | Some sub ->
+    let instance =
+      Instance.make ~net:base_inst.Instance.net
+        ~routing:base_inst.Instance.routing
+        ~policies:
+          (drop_policies base_inst [ ingress ]
+          @ report.Solve.instance.Instance.policies)
+        ~capacities:base_inst.Instance.capacities
+    in
+    let frozen = { stripped with Solution.instance } in
+    {
+      status = report.Solve.status;
+      solution = Some (combine ~frozen ~sub ~instance);
+      sub_report = Some report;
+    }
+  | None ->
+    { status = report.Solve.status; solution = None; sub_report = Some report }

@@ -1,0 +1,295 @@
+type key =
+  | Place of { ingress : int; priority : int; switch : int }
+  | Merged of { gid : int; switch : int }
+
+type capacity = {
+  switch : int;
+  bound : int;
+  plain : int list;
+  grouped : (int * int list) list;
+}
+
+type t = {
+  instance : Instance.t;
+  plan : Merge.plan;
+  sliced : bool;
+  monitors : (int * Ternary.Field.t) list;
+  keys : key array;
+  index : (key, int) Hashtbl.t;
+  rules : (int * int, Acl.Rule.t) Hashtbl.t;
+  implications : (int * int) list;
+  covers : int list list;
+  capacities : capacity list;
+  merge_defs : (int * int list) list;
+  weights : float array;
+  baseline_rule_count : int;
+  forbidden : int list;
+}
+
+let num_vars t = Array.length t.keys
+
+type builder = {
+  mutable rev_keys : key list;
+  mutable count : int;
+  index : (key, int) Hashtbl.t;
+}
+
+let fresh b key =
+  match Hashtbl.find_opt b.index key with
+  | Some v -> v
+  | None ->
+    let v = b.count in
+    b.count <- v + 1;
+    b.rev_keys <- key :: b.rev_keys;
+    Hashtbl.replace b.index key v;
+    v
+
+let lookup b key = Hashtbl.find_opt b.index key
+
+let build ?(sliced = false) ?(plan = Merge.empty_plan) ?(monitors = [])
+    (inst : Instance.t) =
+  let dummies = Merge.dummy_set plan in
+  let is_dummy i (r : Acl.Rule.t) = Hashtbl.mem dummies (i, r.priority) in
+  let b = { rev_keys = []; count = 0; index = Hashtbl.create 256 } in
+  let rules = Hashtbl.create 256 in
+  let implications = ref [] in
+  let covers = ref [] in
+  let weights = Hashtbl.create 256 in
+  let baseline = ref 0 in
+  List.iter
+    (fun (i, q) ->
+      let dep = Depgraph.build q in
+      let paths = Routing.Table.paths_from inst.Instance.routing i in
+      let s_i = Routing.Table.switches_from inst.Instance.routing i in
+      let drops = Acl.Policy.drops q in
+      let relevant (w : Acl.Rule.t) =
+        (not sliced)
+        || List.exists
+             (fun (p : Routing.Path.t) ->
+               Ternary.Field.overlaps w.field p.Routing.Path.flow)
+             paths
+      in
+      let coverage_drops =
+        List.filter (fun w -> (not (is_dummy i w)) && relevant w) drops
+      in
+      let dummy_rules = List.filter (is_dummy i) (Acl.Policy.rules q) in
+      let placed_drops = coverage_drops @ List.filter Acl.Rule.is_drop dummy_rules in
+      let needed_permits = Depgraph.required_permits dep placed_drops in
+      (* The paper's A counts the rules each policy would install if they
+         all fitted at the ingress switch: its relevant drops plus their
+         dependent permits, once each (dummies excluded — they install
+         nothing on their own). *)
+      let non_dummy rs =
+        List.filter (fun (r : Acl.Rule.t) -> not (is_dummy i r)) rs
+      in
+      baseline :=
+        !baseline
+        + List.length (non_dummy coverage_drops)
+        + List.length (non_dummy needed_permits);
+      let placed_rules =
+        (* Dummy permits may coincide with needed permits: dedupe. *)
+        let tbl = Hashtbl.create 16 in
+        List.iter
+          (fun (r : Acl.Rule.t) -> Hashtbl.replace tbl r.priority r)
+          (placed_drops @ needed_permits @ dummy_rules);
+        Hashtbl.fold (fun _ r acc -> r :: acc) tbl []
+      in
+      (* Distance from ingress: the paper's loc(s, P_i), as min hops over
+         the paths of this ingress (ingress-side switch = 0 hops). *)
+      let loc = Hashtbl.create 16 in
+      List.iter
+        (fun (p : Routing.Path.t) ->
+          Array.iteri
+            (fun pos s ->
+              match Hashtbl.find_opt loc s with
+              | Some d when d <= pos -> ()
+              | _ -> Hashtbl.replace loc s pos)
+            p.Routing.Path.switches)
+        paths;
+      List.iter
+        (fun (r : Acl.Rule.t) ->
+          Hashtbl.replace rules (i, r.priority) r;
+          List.iter
+            (fun k ->
+              let v = fresh b (Place { ingress = i; priority = r.priority; switch = k }) in
+              Hashtbl.replace weights v
+                (1.0 +. float_of_int (Hashtbl.find loc k)))
+            s_i)
+        placed_rules;
+      (* Rule dependency constraints (Eq. 1). *)
+      List.iter
+        (fun (w : Acl.Rule.t) ->
+          List.iter
+            (fun (u : Acl.Rule.t) ->
+              List.iter
+                (fun k ->
+                  match
+                    ( lookup b (Place { ingress = i; priority = w.priority; switch = k }),
+                      lookup b (Place { ingress = i; priority = u.priority; switch = k }) )
+                  with
+                  | Some vw, Some vu -> implications := (vw, vu) :: !implications
+                  | _ -> ())
+                s_i)
+            (Depgraph.dependencies dep w))
+        placed_drops;
+      (* Path coverage constraints (Eq. 2, per path; Section IV-C slices
+         the drops a path must carry to those its flow can meet). *)
+      List.iter
+        (fun (p : Routing.Path.t) ->
+          List.iter
+            (fun (w : Acl.Rule.t) ->
+              let applies =
+                (not sliced)
+                || Ternary.Field.overlaps w.field p.Routing.Path.flow
+              in
+              if applies then begin
+                let vars =
+                  Array.to_list p.Routing.Path.switches
+                  |> List.filter_map (fun k ->
+                         lookup b
+                           (Place { ingress = i; priority = w.priority; switch = k }))
+                in
+                covers := vars :: !covers
+              end)
+            coverage_drops)
+        paths)
+    inst.Instance.policies;
+  (* Merged variables (Section IV-B). *)
+  let merge_defs = ref [] in
+  List.iter
+    (fun (g : Merge.group) ->
+      for k = 0 to Topo.Net.num_switches inst.Instance.net - 1 do
+        let members =
+          List.filter_map
+            (fun (m : Merge.member) ->
+              lookup b
+                (Place { ingress = m.ingress; priority = m.priority; switch = k }))
+            g.Merge.members
+        in
+        if List.length members >= 2 then begin
+          let mv = fresh b (Merged { gid = g.Merge.gid; switch = k }) in
+          merge_defs := (mv, members) :: !merge_defs;
+          let w =
+            List.fold_left
+              (fun acc v -> Float.max acc (Hashtbl.find weights v))
+              1.0 members
+          in
+          Hashtbl.replace weights mv w
+        end
+      done)
+    plan.Merge.groups;
+  (* Monitoring constraints (paper Section VII): a DROP that could kill
+     monitored packets may not sit upstream of the monitor on any path
+     through it. *)
+  let forbidden = Hashtbl.create 16 in
+  if monitors <> [] then
+    List.iter
+      (fun (i, q) ->
+        let paths = Routing.Table.paths_from inst.Instance.routing i in
+        List.iter
+          (fun (w : Acl.Rule.t) ->
+            if Acl.Rule.is_drop w then
+              List.iter
+                (fun (m_switch, region) ->
+                  if Ternary.Field.overlaps w.field region then
+                    List.iter
+                      (fun (p : Routing.Path.t) ->
+                        match Routing.Path.position p m_switch with
+                        | None -> ()
+                        | Some pos ->
+                          for idx = 0 to pos - 1 do
+                            match
+                              lookup b
+                                (Place
+                                   {
+                                     ingress = i;
+                                     priority = w.priority;
+                                     switch = p.Routing.Path.switches.(idx);
+                                   })
+                            with
+                            | Some v -> Hashtbl.replace forbidden v ()
+                            | None -> ()
+                          done)
+                      paths)
+                monitors)
+          (Acl.Policy.rules q))
+      inst.Instance.policies;
+  let keys = Array.of_list (List.rev b.rev_keys) in
+  (* Capacity rows (Eq. 3), only where the worst case can exceed the
+     switch's capacity. *)
+  let plain_by_switch = Array.make (Topo.Net.num_switches inst.Instance.net) [] in
+  let grouped_members = Hashtbl.create 16 in
+  List.iter
+    (fun (mv, members) ->
+      List.iter (fun v -> Hashtbl.replace grouped_members v mv) members)
+    !merge_defs;
+  Array.iteri
+    (fun v key ->
+      match key with
+      | Place { switch; _ } ->
+        if not (Hashtbl.mem grouped_members v) then
+          plain_by_switch.(switch) <- v :: plain_by_switch.(switch)
+      | Merged _ -> ())
+    keys;
+  let grouped_by_switch = Array.make (Topo.Net.num_switches inst.Instance.net) [] in
+  List.iter
+    (fun (mv, members) ->
+      match keys.(mv) with
+      | Merged { switch; _ } ->
+        grouped_by_switch.(switch) <- (mv, members) :: grouped_by_switch.(switch)
+      | Place _ -> assert false)
+    !merge_defs;
+  let capacities = ref [] in
+  Array.iteri
+    (fun k plain ->
+      let grouped = grouped_by_switch.(k) in
+      let worst =
+        List.length plain
+        + List.fold_left (fun acc (_, ms) -> acc + List.length ms) 0 grouped
+      in
+      if worst > inst.Instance.capacities.(k) then
+        capacities :=
+          { switch = k; bound = inst.Instance.capacities.(k); plain; grouped }
+          :: !capacities)
+    plain_by_switch;
+  let weights_arr =
+    Array.init (Array.length keys) (fun v ->
+        match Hashtbl.find_opt weights v with Some w -> w | None -> 1.0)
+  in
+  let baseline_rule_count = !baseline in
+  {
+    instance = inst;
+    plan;
+    sliced;
+    monitors;
+    keys;
+    index = b.index;
+    rules;
+    implications = !implications;
+    covers = !covers;
+    capacities = !capacities;
+    merge_defs = !merge_defs;
+    weights = weights_arr;
+    baseline_rule_count;
+    forbidden = Hashtbl.fold (fun v () acc -> v :: acc) forbidden [];
+  }
+
+let var (t : t) ~ingress ~priority ~switch =
+  Hashtbl.find_opt t.index (Place { ingress; priority; switch })
+
+let is_dummy t ~ingress ~priority =
+  Hashtbl.mem (Merge.dummy_set t.plan) (ingress, priority)
+
+let is_forbidden (t : t) ~ingress ~priority ~switch =
+  match Hashtbl.find_opt t.index (Place { ingress; priority; switch }) with
+  | Some v -> List.mem v t.forbidden
+  | None -> false
+
+let pp_stats fmt t =
+  Format.fprintf fmt
+    "layout: %d vars (%d merged), %d implications, %d covers, %d capacity rows"
+    (Array.length t.keys)
+    (List.length t.merge_defs)
+    (List.length t.implications)
+    (List.length t.covers)
+    (List.length t.capacities)

@@ -1,0 +1,77 @@
+(** Abstract constraint structure of a placement instance.
+
+    [build] walks the instance once and produces solver-agnostic variable
+    and constraint descriptions; {!Encode} maps them to an ILP model
+    (Section IV-A) and {!Sat_encode} to clauses and cardinality
+    constraints (Section IV-D), so the two formulations are guaranteed to
+    describe the same problem.
+
+    Variables are dense integers [0 .. num_vars-1]:
+    - a {b placement} variable per (policy rule, switch in [S_i]) for
+      every rule that can need installing: DROP rules relevant to some
+      path (all of them without slicing; with slicing only those whose
+      field meets the path's flow region, Section IV-C), the PERMIT rules
+      some placed DROP depends on, and merge-plan dummies;
+    - a {b merged} variable per (merge group, switch) where at least two
+      members have placement variables (Section IV-B). *)
+
+type key =
+  | Place of { ingress : int; priority : int; switch : int }
+  | Merged of { gid : int; switch : int }
+
+type capacity = {
+  switch : int;
+  bound : int;
+  plain : int list;  (** placement vars counted one slot each *)
+  grouped : (int * int list) list;
+      (** (merged var, member placement vars): members collectively count
+          one slot when the merged var is set, else one each *)
+}
+
+type t = {
+  instance : Instance.t;
+  plan : Merge.plan;
+  sliced : bool;
+  monitors : (int * Ternary.Field.t) list;
+  keys : key array;
+  index : (key, int) Hashtbl.t;  (** inverse of [keys] *)
+  rules : (int * int, Acl.Rule.t) Hashtbl.t;  (** (ingress, priority) -> rule *)
+  implications : (int * int) list;  (** (drop var, permit var): Eq. 1 / 6 *)
+  covers : int list list;  (** each needs >= 1: Eq. 2 / 7, per path *)
+  capacities : capacity list;  (** Eq. 3, only rows that can bind *)
+  merge_defs : (int * int list) list;  (** merged var = AND members: Eqs. 4-5 / 8 *)
+  weights : float array;
+      (** per var: 1 + hops from ingress (the paper's loc function), used
+          by the upstream objective; merged vars carry the max member
+          weight *)
+  baseline_rule_count : int;
+      (** the paper's A: the rules the policies would install if every
+          ingress switch had room for its whole required set (relevant
+          DROPs + dependent PERMITs, once each; dummies excluded) *)
+  forbidden : int list;
+      (** placement variables pinned to 0 by monitoring constraints *)
+}
+
+val build :
+  ?sliced:bool ->
+  ?plan:Merge.plan ->
+  ?monitors:(int * Ternary.Field.t) list ->
+  Instance.t ->
+  t
+(** [monitors] implements the paper's Section VII future-work constraint:
+    a pair [(m, region)] declares that switch [m] runs monitoring rules
+    for packets in [region], so no DROP rule overlapping [region] may be
+    installed upstream of [m] on any path that traverses [m] (the packet
+    must reach the monitor before the firewall can kill it).  The
+    affected placement variables are pinned to 0. *)
+
+val num_vars : t -> int
+
+val var : t -> ingress:int -> priority:int -> switch:int -> int option
+
+val is_dummy : t -> ingress:int -> priority:int -> bool
+
+val is_forbidden : t -> ingress:int -> priority:int -> switch:int -> bool
+(** Whether monitoring pins that placement to 0. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,213 @@
+type engine = Ilp_engine | Sat_engine | Sat_opt_engine
+
+type options = {
+  redundancy : bool;
+  merge : bool;
+  slice : bool;
+  monitors : (int * Ternary.Field.t) list;
+  objective : Encode.objective;
+  engine : engine;
+  ilp_config : Ilp.Solver.config;
+  sat_conflict_limit : int option;
+  greedy_warm_start : bool;
+}
+
+let default_options =
+  {
+    redundancy = true;
+    merge = false;
+    slice = false;
+    monitors = [];
+    objective = Encode.Total_rules;
+    engine = Ilp_engine;
+    ilp_config = Ilp.Solver.default_config;
+    sat_conflict_limit = None;
+    greedy_warm_start = true;
+  }
+
+let options ?(redundancy = true) ?(merge = false) ?(slice = false)
+    ?(monitors = []) ?(objective = Encode.Total_rules) ?(engine = Ilp_engine)
+    ?(ilp_config = Ilp.Solver.default_config) ?sat_conflict_limit
+    ?(greedy_warm_start = true) () =
+  {
+    redundancy;
+    merge;
+    slice;
+    monitors;
+    objective;
+    engine;
+    ilp_config;
+    sat_conflict_limit;
+    greedy_warm_start;
+  }
+
+type timing = {
+  redundancy_s : float;
+  plan_s : float;
+  layout_s : float;
+  solve_s : float;
+  total_s : float;
+}
+
+type report = {
+  status : Encode.status;
+  solution : Solution.t option;
+  instance : Instance.t;
+  layout : Layout.t;
+  plan : Merge.plan;
+  removed_rules : int;
+  ilp_stats : Ilp.Solver.stats option;
+  sat_conflicts : int option;
+  timing : timing;
+}
+
+let run ?(options = default_options) inst =
+  let t0 = Sys.time () in
+  (* Stage 1 (optional): redundancy removal, per policy. *)
+  let removed = ref 0 in
+  let inst =
+    if options.redundancy then
+      Instance.map_policies inst (fun _ q ->
+          let q', report = Acl.Redundancy.remove q in
+          removed := !removed + Acl.Redundancy.total report;
+          q')
+    else inst
+  in
+  let t1 = Sys.time () in
+  (* Stage 2 (optional): merge planning with cycle breaking. *)
+  let inst_pre_plan = inst in
+  let inst, plan =
+    if options.merge then Merge.plan inst else (inst, Merge.empty_plan)
+  in
+  let t2 = Sys.time () in
+  (* Stage 3: dependency graphs + constraint layout. *)
+  let layout =
+    Layout.build ~sliced:options.slice ~plan ~monitors:options.monitors inst
+  in
+  let t3 = Sys.time () in
+  (* Stage 4: solve. *)
+  let status, solution, ilp_stats, sat_conflicts =
+    match options.engine with
+    | Ilp_engine ->
+      let warm_start =
+        if options.greedy_warm_start then begin
+          let candidates =
+            Option.to_list (Baseline.greedy_assignment layout)
+            @
+            (* With merging enabled, the plain (merge-free) optimum is a
+               feasible point of the merged model and a far better
+               incumbent than greedy: it guarantees the merged answer is
+               never worse than the unmerged one, even under a time
+               limit.  Plain priorities map to the plan's renumbered ones
+               by the renumber factor; dummies stay uninstalled. *)
+            (if options.merge then
+               (* The plain solve is only a warm start: give it a
+                  fraction of the budget. *)
+               let warm_config =
+                 {
+                   options.ilp_config with
+                   Ilp.Solver.time_limit =
+                     Float.max 1.0 (options.ilp_config.Ilp.Solver.time_limit /. 4.0);
+                 }
+               in
+               match
+                 (Encode.solve ~objective:options.objective
+                    ~config:warm_config
+                    (Layout.build ~sliced:options.slice ~plan:Merge.empty_plan
+                       ~monitors:options.monitors inst_pre_plan))
+                   .Encode.solution
+               with
+               | Some plain ->
+                 let a = Array.make (Layout.num_vars layout) false in
+                 Array.iteri
+                   (fun v key ->
+                     match key with
+                     | Layout.Place { ingress; priority; switch } ->
+                       if priority mod Merge.renumber_factor = 0 then
+                         a.(v) <-
+                           Solution.is_placed plain ~ingress
+                             ~priority:(priority / Merge.renumber_factor)
+                             ~switch
+                     | Layout.Merged _ -> ())
+                   layout.Layout.keys;
+                 List.iter
+                   (fun (mv, members) ->
+                     a.(mv) <- List.for_all (fun v -> a.(v)) members)
+                   layout.Layout.merge_defs;
+                 [ a ]
+               | None -> []
+             else [])
+          in
+          match candidates with
+          | [] ->
+            (* Greedy is stuck but the instance may well be feasible: a
+               quick SAT probe often finds an incumbent that lets the
+               branch-and-bound prune from the start. *)
+            (Sat_encode.solve ~conflict_limit:5_000 layout).Sat_encode.assignment
+          | _ ->
+            let score a =
+              Encode.assignment_objective ~objective:options.objective layout a
+            in
+            Some
+              (List.fold_left
+                 (fun best a -> if score a < score best then a else best)
+                 (List.hd candidates) (List.tl candidates))
+        end
+        else None
+      in
+      let r =
+        Encode.solve ~objective:options.objective ~config:options.ilp_config
+          ?warm_start layout
+      in
+      (r.Encode.status, r.Encode.solution, Some r.Encode.ilp_stats, None)
+    | Sat_engine ->
+      let r =
+        Sat_encode.solve ?conflict_limit:options.sat_conflict_limit layout
+      in
+      let status =
+        match r.Sat_encode.status with
+        | `Sat -> `Feasible
+        | `Unsat -> `Infeasible
+        | `Unknown -> `Unknown
+      in
+      (status, r.Sat_encode.solution, None, Some r.Sat_encode.conflicts)
+    | Sat_opt_engine ->
+      let r =
+        Sat_encode.minimize ?conflict_limit:options.sat_conflict_limit layout
+      in
+      let status =
+        match r.Sat_encode.opt_status with
+        | `Optimal -> `Optimal
+        | `Feasible -> `Feasible
+        | `Unsat -> `Infeasible
+        | `Unknown -> `Unknown
+      in
+      (status, r.Sat_encode.opt_solution, None, Some r.Sat_encode.opt_conflicts)
+  in
+  let t4 = Sys.time () in
+  {
+    status;
+    solution;
+    instance = inst;
+    layout;
+    plan;
+    removed_rules = !removed;
+    ilp_stats;
+    sat_conflicts;
+    timing =
+      {
+        redundancy_s = t1 -. t0;
+        plan_s = t2 -. t1;
+        layout_s = t3 -. t2;
+        solve_s = t4 -. t3;
+        total_s = t4 -. t0;
+      };
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>status: %a@,%a@,solve time: %.3fs (total %.3fs)@]"
+    Encode.pp_status r.status
+    (Format.pp_print_option
+       ~none:(fun fmt () -> Format.pp_print_string fmt "no placement")
+       Solution.pp_summary)
+    r.solution r.timing.solve_s r.timing.total_s

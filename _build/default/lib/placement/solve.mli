@@ -1,0 +1,73 @@
+(** End-to-end placement pipeline — the paper's Fig. 4 flow chart.
+
+    Stages: optional redundancy removal on every policy; optional merge
+    planning (group discovery + cycle breaking); layout construction
+    (dependency graph, path slicing); then either the ILP engine
+    (optimizing) or the SAT engine (feasibility only), greedily
+    warm-started when possible; finally decoding into a {!Solution}.
+
+    All stage timings are reported so the scalability experiments can
+    attribute cost. *)
+
+type engine =
+  | Ilp_engine  (** optimizing branch & bound (default) *)
+  | Sat_engine  (** feasibility only, fastest *)
+  | Sat_opt_engine
+      (** optimizing via incremental SAT cardinality descent
+          ({!Sat_encode.minimize}) — an independent cross-check of the
+          ILP optimum *)
+
+type options = {
+  redundancy : bool;  (** default true *)
+  merge : bool;  (** default false *)
+  slice : bool;  (** default false *)
+  monitors : (int * Ternary.Field.t) list;
+      (** monitoring constraints (default none): DROPs overlapping a
+          monitored region may not sit upstream of the monitor switch *)
+  objective : Encode.objective;  (** default [Total_rules] *)
+  engine : engine;  (** default [Ilp_engine] *)
+  ilp_config : Ilp.Solver.config;
+  sat_conflict_limit : int option;
+  greedy_warm_start : bool;  (** default true *)
+}
+
+val default_options : options
+
+val options :
+  ?redundancy:bool ->
+  ?merge:bool ->
+  ?slice:bool ->
+  ?monitors:(int * Ternary.Field.t) list ->
+  ?objective:Encode.objective ->
+  ?engine:engine ->
+  ?ilp_config:Ilp.Solver.config ->
+  ?sat_conflict_limit:int ->
+  ?greedy_warm_start:bool ->
+  unit ->
+  options
+
+type timing = {
+  redundancy_s : float;
+  plan_s : float;
+  layout_s : float;
+  solve_s : float;
+  total_s : float;
+}
+
+type report = {
+  status : Encode.status;
+  solution : Solution.t option;
+  instance : Instance.t;
+      (** post-transform instance (redundancy-cleaned, renumbered, with
+          merge dummies) — the one the solution refers to *)
+  layout : Layout.t;
+  plan : Merge.plan;
+  removed_rules : int;  (** by redundancy removal *)
+  ilp_stats : Ilp.Solver.stats option;
+  sat_conflicts : int option;
+  timing : timing;
+}
+
+val run : ?options:options -> Instance.t -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,264 @@
+open Ternary
+
+(* ---------------- printing ---------------- *)
+
+let string_of_field (f : Field.t) =
+  let parts = ref [] in
+  let add s = parts := s :: !parts in
+  if not (Prefix.equal f.src Prefix.any) then
+    add (Printf.sprintf "src=%s" (Prefix.to_string f.src));
+  if not (Prefix.equal f.dst Prefix.any) then
+    add (Printf.sprintf "dst=%s" (Prefix.to_string f.dst));
+  if not (Range.is_full f.sport) then
+    add
+      (if Range.lo f.sport = Range.hi f.sport then
+         Printf.sprintf "sport=%d" (Range.lo f.sport)
+       else Printf.sprintf "sport=%d-%d" (Range.lo f.sport) (Range.hi f.sport));
+  if not (Range.is_full f.dport) then
+    add
+      (if Range.lo f.dport = Range.hi f.dport then
+         Printf.sprintf "dport=%d" (Range.lo f.dport)
+       else Printf.sprintf "dport=%d-%d" (Range.lo f.dport) (Range.hi f.dport));
+  (match f.proto with
+  | Proto.Any -> ()
+  | p -> add (Format.asprintf "proto=%a" Proto.pp p));
+  match !parts with [] -> "any" | l -> String.concat " " (List.rev l)
+
+let to_string (inst : Instance.t) =
+  let buf = Buffer.create 4096 in
+  let net = inst.Instance.net in
+  Buffer.add_string buf
+    (Printf.sprintf "# sdn rule placement instance\nnet custom %d\n"
+       (Topo.Net.num_switches net));
+  List.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "link %d %d\n" a b))
+    (Topo.Net.edges net);
+  for h = 0 to Topo.Net.num_hosts net - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "host %d %d\n" h (Topo.Net.host_attach net h))
+  done;
+  Array.iteri
+    (fun k c -> Buffer.add_string buf (Printf.sprintf "capacity %d %d\n" k c))
+    inst.Instance.capacities;
+  List.iter
+    (fun (p : Routing.Path.t) ->
+      let switches =
+        String.concat ","
+          (Array.to_list (Array.map string_of_int p.Routing.Path.switches))
+      in
+      if Field.equal p.Routing.Path.flow Field.any then
+        Buffer.add_string buf
+          (Printf.sprintf "path %d %d %s\n" p.Routing.Path.ingress
+             p.Routing.Path.egress switches)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "path %d %d %s flow %s\n" p.Routing.Path.ingress
+             p.Routing.Path.egress switches
+             (string_of_field p.Routing.Path.flow)))
+    (Routing.Table.paths inst.Instance.routing);
+  List.iter
+    (fun (i, q) ->
+      Buffer.add_string buf (Printf.sprintf "policy %d\n" i);
+      List.iter
+        (fun (r : Acl.Rule.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  rule %s %s\n"
+               (match r.action with
+               | Acl.Rule.Permit -> "permit"
+               | Acl.Rule.Drop -> "drop")
+               (string_of_field r.field)))
+        (Acl.Policy.rules q))
+    inst.Instance.policies;
+  Buffer.contents buf
+
+(* ---------------- parsing ---------------- *)
+
+let fail_at line msg = failwith (Printf.sprintf "line %d: %s" line msg)
+
+let parse_field line tokens =
+  let field = ref Field.any in
+  List.iter
+    (fun tok ->
+      if tok <> "any" then
+        match String.index_opt tok '=' with
+        | None -> fail_at line (Printf.sprintf "bad field component %S" tok)
+        | Some i -> (
+          let key = String.sub tok 0 i in
+          let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+          let prefix () =
+            if value = "*" then Prefix.any
+            else
+              try Prefix.of_string value
+              with Invalid_argument m -> fail_at line m
+          in
+          let range () =
+            if value = "*" then Range.full
+            else
+              match String.index_opt value '-' with
+              | Some j -> (
+                try
+                  Range.make
+                    (int_of_string (String.sub value 0 j))
+                    (int_of_string
+                       (String.sub value (j + 1) (String.length value - j - 1)))
+                with _ -> fail_at line (Printf.sprintf "bad range %S" value))
+              | None -> (
+                match int_of_string_opt value with
+                | Some v -> Range.point v
+                | None -> fail_at line (Printf.sprintf "bad port %S" value))
+          in
+          match key with
+          | "src" -> field := { !field with src = prefix () }
+          | "dst" -> field := { !field with dst = prefix () }
+          | "sport" -> field := { !field with sport = range () }
+          | "dport" -> field := { !field with dport = range () }
+          | "proto" ->
+            let proto =
+              match value with
+              | "*" -> Proto.Any
+              | "tcp" -> Proto.tcp
+              | "udp" -> Proto.udp
+              | "icmp" -> Proto.icmp
+              | v -> (
+                match int_of_string_opt v with
+                | Some n when n >= 0 && n <= 255 -> Proto.Eq n
+                | _ -> fail_at line (Printf.sprintf "bad protocol %S" v))
+            in
+            field := { !field with proto }
+          | k -> fail_at line (Printf.sprintf "unknown field key %S" k)))
+    tokens;
+  !field
+
+type parse_state = {
+  mutable num_switches : int option;
+  mutable links : (int * int) list;
+  mutable hosts : (int * int) list;  (* host id, switch *)
+  mutable default_capacity : int option;
+  mutable capacities : (int * int) list;
+  mutable paths : Routing.Path.t list;
+  mutable policies : (int * (Field.t * Acl.Rule.action) list) list;
+  mutable current_policy : int option;
+}
+
+let of_string text =
+  let st =
+    {
+      num_switches = None;
+      links = [];
+      hosts = [];
+      default_capacity = None;
+      capacities = [];
+      paths = [];
+      policies = [];
+      current_policy = None;
+    }
+  in
+  let int_of line s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail_at line (Printf.sprintf "expected integer, got %S" s)
+  in
+  let add_rule line tokens action =
+    match st.current_policy with
+    | None -> fail_at line "rule outside a policy section"
+    | Some i ->
+      let field = parse_field line tokens in
+      let rules = List.assoc i st.policies in
+      st.policies <-
+        (i, rules @ [ (field, action) ]) :: List.remove_assoc i st.policies
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let stripped = String.trim raw in
+      let stripped =
+        match String.index_opt stripped '#' with
+        | Some i -> String.trim (String.sub stripped 0 i)
+        | None -> stripped
+      in
+      if stripped <> "" then
+        match
+          String.split_on_char ' ' stripped
+          |> List.filter (fun s -> s <> "")
+        with
+        | [ "net"; "custom"; n ] -> st.num_switches <- Some (int_of line n)
+        | [ "net"; "fattree"; k ] ->
+          let k = int_of line k in
+          let net = Topo.Fattree.make k in
+          st.num_switches <- Some (Topo.Net.num_switches net);
+          st.links <- Topo.Net.edges net;
+          st.hosts <-
+            List.init (Topo.Net.num_hosts net) (fun h ->
+                (h, Topo.Net.host_attach net h))
+        | [ "link"; a; b ] -> st.links <- (int_of line a, int_of line b) :: st.links
+        | [ "host"; h; s ] -> st.hosts <- (int_of line h, int_of line s) :: st.hosts
+        | [ "capacity"; "*"; c ] -> st.default_capacity <- Some (int_of line c)
+        | [ "capacity"; k; c ] ->
+          st.capacities <- (int_of line k, int_of line c) :: st.capacities
+        | "path" :: ingress :: egress :: switches :: rest ->
+          let switches =
+            List.map (int_of line) (String.split_on_char ',' switches)
+          in
+          let flow =
+            match rest with
+            | [] -> Field.any
+            | "flow" :: field_tokens -> parse_field line field_tokens
+            | _ -> fail_at line "expected 'flow <field>' after the switch list"
+          in
+          st.paths <-
+            Routing.Path.make ~flow ~ingress:(int_of line ingress)
+              ~egress:(int_of line egress) ~switches ()
+            :: st.paths
+        | [ "policy"; i ] ->
+          let i = int_of line i in
+          if List.mem_assoc i st.policies then
+            fail_at line (Printf.sprintf "duplicate policy %d" i);
+          st.policies <- (i, []) :: st.policies;
+          st.current_policy <- Some i
+        | "rule" :: "permit" :: tokens -> add_rule line tokens Acl.Rule.Permit
+        | "rule" :: "drop" :: tokens -> add_rule line tokens Acl.Rule.Drop
+        | tok :: _ -> fail_at line (Printf.sprintf "unknown directive %S" tok)
+        | [] -> ())
+    (String.split_on_char '\n' text);
+  let num_switches =
+    match st.num_switches with
+    | Some n -> n
+    | None -> failwith "missing 'net' declaration"
+  in
+  let max_host =
+    List.fold_left (fun acc (h, _) -> max acc h) (-1) st.hosts
+  in
+  let host_attach = Array.make (max_host + 1) (-1) in
+  List.iter (fun (h, s) -> host_attach.(h) <- s) st.hosts;
+  Array.iteri
+    (fun h s ->
+      if s < 0 then failwith (Printf.sprintf "host %d has no attachment" h))
+    host_attach;
+  let net =
+    Topo.Net.create ~num_switches
+      ~edges:(List.sort_uniq Stdlib.compare st.links)
+      ~host_attach ()
+  in
+  let capacities =
+    Array.make num_switches
+      (match st.default_capacity with Some c -> c | None -> 0)
+  in
+  List.iter (fun (k, c) -> capacities.(k) <- c) (List.rev st.capacities);
+  let policies =
+    List.rev_map (fun (i, specs) -> (i, Acl.Policy.of_fields specs)) st.policies
+  in
+  Instance.make ~net
+    ~routing:(Routing.Table.of_paths (List.rev st.paths))
+    ~policies ~capacities
+
+let to_channel oc inst = output_string oc (to_string inst)
+
+let save path inst =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc inst)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,37 @@
+(** Textual instance files.
+
+    A human-editable line format that round-trips a full placement
+    instance (topology, capacities, routing, policies) so the CLI can
+    save generated workloads and users can write their own:
+
+    {v
+# comments and blank lines are ignored
+net custom 5                 # or: net fattree 4
+link 0 1
+link 1 2
+host 0 0                     # host 0 attaches to switch 0
+host 1 2
+capacity * 100               # every switch
+capacity 1 20                # later lines override
+path 0 1 0,1,2               # ingress host, egress host, switch list
+path 0 1 0,1,2 flow dst=10.0.1.0/24
+policy 0                     # rules until the next section, top first
+  rule permit src=10.1.0.0/16 dst=* sport=* dport=80 proto=tcp
+  rule drop src=10.0.0.0/8
+v}
+
+    Rule priorities are assigned by position (first line = highest), as
+    {!Acl.Policy.of_fields} does.  Fields accept [src=], [dst=] (CIDR
+    prefixes or [*]), [sport=], [dport=] ([lo-hi], a single port, or
+    [*]), and [proto=] ([tcp], [udp], [icmp], a number, or [*]). *)
+
+val to_string : Instance.t -> string
+
+val of_string : string -> Instance.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val save : string -> Instance.t -> unit
+(** [save path instance] writes the file. *)
+
+val load : string -> Instance.t
+(** Raises [Failure] on malformed content, [Sys_error] on IO errors. *)

@@ -1,0 +1,20 @@
+let patterns ~universe_bits tags =
+  let size = 1 lsl universe_bits in
+  List.iter
+    (fun t ->
+      if t < 0 || t >= size then
+        invalid_arg "Tag_cover.patterns: tag outside universe")
+    tags;
+  let members = Array.make size false in
+  List.iter (fun t -> members.(t) <- true) tags;
+  (* Emit a block when full, recurse into halves otherwise. *)
+  let rec cover lo len =
+    let full = ref true and empty = ref true in
+    for x = lo to lo + len - 1 do
+      if members.(x) then empty := false else full := false
+    done;
+    if !empty then 0
+    else if !full then 1
+    else cover lo (len / 2) + cover (lo + (len / 2)) (len / 2)
+  in
+  cover 0 size

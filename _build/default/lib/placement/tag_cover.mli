@@ -1,0 +1,11 @@
+(** Ternary cover cost of ingress-tag sets.
+
+    A merged TCAM entry applies to several ingress policies; in hardware
+    the tag match is a ternary pattern, so a tag *set* may need several
+    patterns.  [patterns ~universe_bits tags] is the size of the minimal
+    disjoint prefix cover of the set within a [2^universe_bits]-wide tag
+    space (1 for the full space, aligned blocks, or singletons; more for
+    scattered sets).  Tags must lie in [0, 2^universe_bits).
+    Raises [Invalid_argument] otherwise. *)
+
+val patterns : universe_bits:int -> int list -> int

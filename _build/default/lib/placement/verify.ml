@@ -1,0 +1,245 @@
+type violation =
+  | Capacity of { switch : int; used : int; bound : int }
+  | Monitor of { ingress : int; priority : int; switch : int }
+      (** a DROP overlapping a monitored region sits upstream of its
+          monitor *)
+  | Coverage of { ingress : int; priority : int; egress : int }
+  | Dependency of { ingress : int; drop : int; permit : int; switch : int }
+  | Semantic of {
+      ingress : int;
+      egress : int;
+      packet : Ternary.Packet.t;
+      expected : Acl.Rule.action;
+      got : Netsim.outcome;
+    }
+
+let pp_violation fmt = function
+  | Capacity { switch; used; bound } ->
+    Format.fprintf fmt "capacity: switch %d holds %d > %d" switch used bound
+  | Monitor { ingress; priority; switch } ->
+    Format.fprintf fmt
+      "monitor: drop %d of ingress %d placed at %d before its monitor"
+      priority ingress switch
+  | Coverage { ingress; priority; egress } ->
+    Format.fprintf fmt "coverage: drop %d of ingress %d missing on path to %d"
+      priority ingress egress
+  | Dependency { ingress; drop; permit; switch } ->
+    Format.fprintf fmt
+      "dependency: drop %d of ingress %d at switch %d lacks permit %d" drop
+      ingress switch permit
+  | Semantic { ingress; egress; packet; expected; got } ->
+    Format.fprintf fmt "semantic: %a from %d to %d expected %a got %a"
+      Ternary.Packet.pp packet ingress egress Acl.Rule.pp_action expected
+      Netsim.pp_outcome got
+
+let structural (layout : Layout.t) (sol : Solution.t) =
+  let inst = sol.Solution.instance in
+  let violations = ref [] in
+  (* Capacity. *)
+  Array.iteri
+    (fun k used ->
+      let bound = inst.Instance.capacities.(k) in
+      if used > bound then violations := Capacity { switch = k; used; bound } :: !violations)
+    (Solution.switch_usage sol);
+  (* Monitoring: every pinned-to-0 variable must indeed be unused. *)
+  List.iter
+    (fun v ->
+      match layout.Layout.keys.(v) with
+      | Layout.Place { ingress; priority; switch } ->
+        if Solution.is_placed sol ~ingress ~priority ~switch then
+          violations := Monitor { ingress; priority; switch } :: !violations
+      | Layout.Merged _ -> ())
+    layout.Layout.forbidden;
+  List.iter
+    (fun (i, q) ->
+      let dep = Depgraph.build q in
+      let paths = Routing.Table.paths_from inst.Instance.routing i in
+      (* Coverage of every relevant, non-dummy DROP on every path. *)
+      List.iter
+        (fun (w : Acl.Rule.t) ->
+          if not (Layout.is_dummy layout ~ingress:i ~priority:w.priority) then
+            List.iter
+              (fun (p : Routing.Path.t) ->
+                let applies =
+                  (not layout.Layout.sliced)
+                  || Ternary.Field.overlaps w.field p.Routing.Path.flow
+                in
+                if
+                  applies
+                  && not
+                       (Array.exists
+                          (fun k ->
+                            Solution.is_placed sol ~ingress:i
+                              ~priority:w.priority ~switch:k)
+                          p.Routing.Path.switches)
+                then
+                  violations :=
+                    Coverage
+                      { ingress = i; priority = w.priority; egress = p.Routing.Path.egress }
+                    :: !violations)
+              paths)
+        (Acl.Policy.drops q);
+      (* Dependency co-location for every installed drop of this policy. *)
+      List.iter
+        (fun (w : Acl.Rule.t) ->
+          if Acl.Rule.is_drop w then
+            let deps = Depgraph.dependencies dep w in
+            for k = 0 to Topo.Net.num_switches inst.Instance.net - 1 do
+              if Solution.is_placed sol ~ingress:i ~priority:w.priority ~switch:k
+              then
+                List.iter
+                  (fun (u : Acl.Rule.t) ->
+                    if
+                      not
+                        (Solution.is_placed sol ~ingress:i
+                           ~priority:u.priority ~switch:k)
+                    then
+                      violations :=
+                        Dependency
+                          { ingress = i; drop = w.priority; permit = u.priority; switch = k }
+                        :: !violations)
+                  deps
+            done)
+        (Acl.Policy.rules q))
+    inst.Instance.policies;
+  List.rev !violations
+
+let semantic ?(random_samples = 20) g (sol : Solution.t) =
+  let inst = sol.Solution.instance in
+  let { Tables.netsim; _ } = Tables.to_netsim sol in
+  let violations = ref [] in
+  let probe (p : Routing.Path.t) q packet =
+    let expected = Acl.Policy.evaluate q packet in
+    let got = Netsim.forward netsim p packet in
+    let agree =
+      match (expected, got) with
+      | Acl.Rule.Drop, Netsim.Dropped _ -> true
+      | Acl.Rule.Permit, Netsim.Delivered -> true
+      | Acl.Rule.Drop, Netsim.Delivered | Acl.Rule.Permit, Netsim.Dropped _ ->
+        false
+    in
+    if not agree then
+      violations :=
+        Semantic
+          {
+            ingress = p.Routing.Path.ingress;
+            egress = p.Routing.Path.egress;
+            packet;
+            expected;
+            got;
+          }
+        :: !violations
+  in
+  List.iter
+    (fun (i, q) ->
+      let rules = Acl.Policy.rules q in
+      (* Probe regions: every rule and every pairwise overlap. *)
+      let regions =
+        List.map (fun (r : Acl.Rule.t) -> r.field) rules
+        @ List.concat_map
+            (fun (r1 : Acl.Rule.t) ->
+              List.filter_map
+                (fun (r2 : Acl.Rule.t) ->
+                  if r1.priority < r2.priority then None
+                  else Ternary.Field.inter r1.field r2.field)
+                rules)
+            rules
+      in
+      List.iter
+        (fun (p : Routing.Path.t) ->
+          let flow = p.Routing.Path.flow in
+          List.iter
+            (fun region ->
+              let region =
+                if sol.Solution.sliced then Ternary.Field.inter region flow
+                else Some region
+              in
+              match region with
+              | Some r -> probe p q (Ternary.Field.random_packet g r)
+              | None -> ())
+            regions;
+          for _ = 1 to random_samples do
+            let packet =
+              if sol.Solution.sliced then Ternary.Field.random_packet g flow
+              else Ternary.Packet.random g
+            in
+            probe p q packet
+          done)
+        (Routing.Table.paths_from inst.Instance.routing i))
+    inst.Instance.policies;
+  List.rev !violations
+
+let check ?random_samples g layout sol =
+  structural layout sol @ semantic ?random_samples g sol
+
+let exact ?budget (sol : Solution.t) =
+  let inst = sol.Solution.instance in
+  let { Tables.netsim; _ } = Tables.to_netsim sol in
+  let cube_width = Ternary.Field.width in
+  try
+    let violations = ref [] in
+    List.iter
+      (fun (i, q) ->
+        let expected_all = Acl.Semantics.drop_region ?budget q in
+        (* Per-switch drop regions for this ingress tag, cached. *)
+        let switch_drop = Hashtbl.create 16 in
+        let drop_at s =
+          match Hashtbl.find_opt switch_drop s with
+          | Some r -> r
+          | None ->
+            let rules =
+              List.filter_map
+                (fun (e : Netsim.entry) ->
+                  if List.mem i e.Netsim.tags then Some e.Netsim.rule else None)
+                (Netsim.table netsim s)
+            in
+            let r = Acl.Semantics.drop_region_of_rules ?budget rules in
+            Hashtbl.replace switch_drop s r;
+            r
+        in
+        List.iter
+          (fun (p : Routing.Path.t) ->
+            let flow =
+              if sol.Solution.sliced then
+                Some (Ternary.Field.to_cube p.Routing.Path.flow)
+              else None
+            in
+            let restrict r =
+              match flow with
+              | Some f -> Ternary.Cube.inter r f
+              | None -> r
+            in
+            let expected = restrict expected_all in
+            let actual =
+              restrict
+                (Array.fold_left
+                   (fun acc s -> Ternary.Cube.union acc (drop_at s))
+                   (Ternary.Cube.empty cube_width)
+                   p.Routing.Path.switches)
+            in
+            let witness_of diff expected_action =
+              match Ternary.Cube.choose diff with
+              | None -> ()
+              | Some cube ->
+                let packet = Ternary.Field.packet_of_tbv cube in
+                violations :=
+                  Semantic
+                    {
+                      ingress = i;
+                      egress = p.Routing.Path.egress;
+                      packet;
+                      expected = expected_action;
+                      got = Netsim.forward netsim p packet;
+                    }
+                  :: !violations
+            in
+            witness_of
+              (Ternary.Cube.subtract ?budget expected actual)
+              Acl.Rule.Drop;
+            witness_of
+              (Ternary.Cube.subtract ?budget actual expected)
+              Acl.Rule.Permit)
+          (Routing.Table.paths_from inst.Instance.routing i))
+      inst.Instance.policies;
+    Some (List.rev !violations)
+  with Ternary.Cube.Budget_exceeded -> None

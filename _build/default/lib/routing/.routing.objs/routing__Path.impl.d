@@ -1,0 +1,1 @@
+lib/routing/path.ml: Array Format String Ternary

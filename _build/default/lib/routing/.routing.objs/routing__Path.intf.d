@@ -1,0 +1,1 @@
+lib/routing/path.mli: Format Ternary

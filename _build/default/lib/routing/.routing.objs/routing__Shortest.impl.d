@@ -1,0 +1,1 @@
+lib/routing/shortest.ml: Array List Prng Queue Topo

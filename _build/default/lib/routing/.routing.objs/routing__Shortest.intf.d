@@ -1,0 +1,1 @@
+lib/routing/shortest.mli: Prng Topo

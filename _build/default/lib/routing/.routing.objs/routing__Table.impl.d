@@ -1,0 +1,1 @@
+lib/routing/table.ml: Array Format Int List Map Path Prng Shortest Stdlib Ternary Topo

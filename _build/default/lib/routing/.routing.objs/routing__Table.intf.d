@@ -1,0 +1,1 @@
+lib/routing/table.mli: Format Path Prng Topo

@@ -1,0 +1,31 @@
+type t = {
+  ingress : int;
+  egress : int;
+  switches : int array;
+  flow : Ternary.Field.t;
+}
+
+let make ?(flow = Ternary.Field.any) ~ingress ~egress ~switches () =
+  if switches = [] then invalid_arg "Path.make: empty switch list";
+  { ingress; egress; switches = Array.of_list switches; flow }
+
+let length p = Array.length p.switches
+
+let position p s =
+  let rec go i =
+    if i >= Array.length p.switches then None
+    else if p.switches.(i) = s then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let mem p s = position p s <> None
+
+let equal a b =
+  a.ingress = b.ingress && a.egress = b.egress && a.switches = b.switches
+  && Ternary.Field.equal a.flow b.flow
+
+let pp fmt p =
+  Format.fprintf fmt "h%d->h%d via [%s]" p.ingress p.egress
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int p.switches)))

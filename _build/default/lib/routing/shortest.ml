@@ -1,0 +1,72 @@
+let distances net src =
+  let n = Topo.Net.num_switches net in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if dist.(v) = max_int then begin
+          dist.(v) <- dist.(u) + 1;
+          Queue.add v q
+        end)
+      (Topo.Net.neighbors net u)
+  done;
+  dist
+
+let downhill net dist u =
+  List.filter (fun v -> dist.(v) < dist.(u) && dist.(v) <> max_int)
+    (Topo.Net.neighbors net u)
+
+let random_shortest_path g net ~src ~dst =
+  let dist = distances net dst in
+  if dist.(src) = max_int then None
+  else
+    let rec walk u acc =
+      if u = dst then List.rev (u :: acc)
+      else walk (Prng.choose_list g (downhill net dist u)) (u :: acc)
+    in
+    Some (walk src [])
+
+let all_shortest_paths ?(limit = 1024) net ~src ~dst =
+  let dist = distances net dst in
+  if dist.(src) = max_int then []
+  else begin
+    let found = ref [] in
+    let count = ref 0 in
+    let rec walk u acc =
+      if !count < limit then
+        if u = dst then begin
+          incr count;
+          found := List.rev (u :: acc) :: !found
+        end
+        else List.iter (fun v -> walk v (u :: acc)) (downhill net dist u)
+    in
+    walk src [];
+    List.rev !found
+  end
+
+let count_shortest_paths net ~src ~dst =
+  let dist = distances net dst in
+  if dist.(src) = max_int then 0
+  else begin
+    (* Count paths in the shortest-path DAG by memoized descent. *)
+    let n = Topo.Net.num_switches net in
+    let memo = Array.make n (-1) in
+    let sat_add a b = if a > max_int - b then max_int else a + b in
+    let rec count u =
+      if u = dst then 1
+      else if memo.(u) >= 0 then memo.(u)
+      else begin
+        let c =
+          List.fold_left (fun acc v -> sat_add acc (count v)) 0
+            (downhill net dist u)
+        in
+        memo.(u) <- c;
+        c
+      end
+    in
+    count src
+  end

@@ -1,0 +1,63 @@
+(** A routing table: the set of routed paths, indexed by ingress host.
+
+    This is the paper's routing-policy input [{P_i}]: for each ingress
+    [l_i] a set of paths [p_{i,j}], with [S_i] the union of their switches.
+    The table is produced by an external routing module; {!random} plays
+    that role with seeded random shortest-path routing. *)
+
+type t
+
+val of_paths : Path.t list -> t
+
+val paths : t -> Path.t list
+
+val num_paths : t -> int
+
+val ingresses : t -> int list
+(** Hosts with at least one originating path, ascending. *)
+
+val paths_from : t -> int -> Path.t list
+(** [P_i]. *)
+
+val switches_from : t -> int -> int list
+(** [S_i]: every switch on some path from this ingress, ascending. *)
+
+val add_paths : t -> Path.t list -> t
+
+val remove_ingress : t -> int -> t
+(** Drops every path originating at that host. *)
+
+val random :
+  ?slice:bool ->
+  Prng.t ->
+  Topo.Net.t ->
+  pairs:(int * int) list ->
+  t
+(** One random shortest path per [(ingress, egress)] host pair.  With
+    [slice] (default false) each path's flow region is restricted to the
+    egress host's /24 destination prefix, enabling path-sliced placement.
+    Unreachable pairs raise [Invalid_argument] (they indicate a broken
+    topology). *)
+
+val spray :
+  ?slice:bool ->
+  Prng.t ->
+  Topo.Net.t ->
+  ingresses:int list ->
+  total_paths:int ->
+  t
+(** Distributes [total_paths] paths round-robin over the given ingress
+    hosts, each toward a random distinct egress host.  This is how the
+    experiments scale the path count [p] independently of topology. *)
+
+val ecmp :
+  ?slice:bool ->
+  ?limit:int ->
+  Topo.Net.t ->
+  pairs:(int * int) list ->
+  t
+(** Every shortest path (up to [limit] per pair, default 16) for each
+    [(ingress, egress)] host pair — the multipath counterpart of
+    {!random}.  Raises [Invalid_argument] on unreachable pairs. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Linear programming by the primal simplex method.
+
+    Solves   minimize  c·x
+             subject to  a_i·x {<=, =, >=} b_i   for each row i
+                         0 <= x_j <= u_j          (u_j may be infinite)
+
+    The implementation is the textbook two-phase dense-tableau simplex with
+    upper-bounded variables (Chvátal, ch. 8): nonbasic variables rest at
+    either bound, bound flips avoid pivots, and phase 1 minimizes the sum
+    of artificial variables to find a feasible basis or prove infeasibility.
+    Anti-cycling: after a stall the pivot rule degrades from most-negative
+    reduced cost to Bland's rule, which terminates finitely.
+
+    It is exact in the floating-point sense (tolerance 1e-7) and intended
+    for the moderate-size relaxations produced by {!Ilp}: dense tableau
+    storage is O(rows × columns). *)
+
+type sense = Le | Ge | Eq
+
+type row = {
+  coeffs : (int * float) list;  (** sparse [(var, coefficient)] terms *)
+  sense : sense;
+  rhs : float;
+}
+
+type problem = {
+  num_vars : int;
+  minimize : (int * float) list;  (** sparse objective *)
+  rows : row list;
+  upper : float array;  (** length [num_vars]; [infinity] = unbounded *)
+}
+
+type status =
+  | Optimal of { objective : float; solution : float array }
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val solve : ?max_iters:int -> problem -> status
+(** [max_iters] bounds total pivots across both phases (default 50_000).
+    Raises [Invalid_argument] on malformed input (bad indices, negative
+    upper bounds, wrong [upper] length). *)
+
+val feasible : ?tol:float -> problem -> float array -> bool
+(** Checks a point against rows and bounds; used by tests and by {!Ilp}
+    to validate incumbents. *)
+
+val pp_status : Format.formatter -> status -> unit

@@ -1,0 +1,1 @@
+lib/ternary/cube.ml: Format List Tbv

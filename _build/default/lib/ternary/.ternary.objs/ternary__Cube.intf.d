@@ -1,0 +1,1 @@
+lib/ternary/cube.mli: Format Tbv

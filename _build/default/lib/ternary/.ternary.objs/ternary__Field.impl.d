@@ -1,0 +1,1 @@
+lib/ternary/field.ml: Cube Format Hashtbl List Packet Prefix Proto Range Tbv

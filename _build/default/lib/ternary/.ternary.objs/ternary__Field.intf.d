@@ -1,0 +1,1 @@
+lib/ternary/field.mli: Cube Format Packet Prefix Prng Proto Range Tbv

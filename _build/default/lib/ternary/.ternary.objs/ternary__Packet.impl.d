@@ -1,0 +1,1 @@
+lib/ternary/packet.ml: Format Printf Prng Stdlib

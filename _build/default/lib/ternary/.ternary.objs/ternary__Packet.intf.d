@@ -1,0 +1,1 @@
+lib/ternary/packet.mli: Format Prng

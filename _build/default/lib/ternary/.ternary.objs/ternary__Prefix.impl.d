@@ -1,0 +1,1 @@
+lib/ternary/prefix.ml: Format Printf Prng Stdlib String Tbv

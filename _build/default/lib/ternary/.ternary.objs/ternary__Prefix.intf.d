@@ -1,0 +1,1 @@
+lib/ternary/prefix.mli: Format Prng Tbv

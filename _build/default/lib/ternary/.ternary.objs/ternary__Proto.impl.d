@@ -1,0 +1,1 @@
+lib/ternary/proto.ml: Format Prng Stdlib Tbv

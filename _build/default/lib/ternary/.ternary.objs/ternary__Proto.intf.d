@@ -1,0 +1,1 @@
+lib/ternary/proto.mli: Format Prng Tbv

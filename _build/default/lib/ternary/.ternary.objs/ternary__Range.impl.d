@@ -1,0 +1,1 @@
+lib/ternary/range.ml: Format List Prng Stdlib Tbv

@@ -1,0 +1,1 @@
+lib/ternary/range.mli: Format Prng Tbv

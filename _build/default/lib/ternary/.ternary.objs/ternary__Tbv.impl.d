@@ -1,0 +1,1 @@
+lib/ternary/tbv.ml: Array Format Hashtbl Prng Stdlib String

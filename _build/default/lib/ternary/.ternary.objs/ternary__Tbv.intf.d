@@ -1,0 +1,1 @@
+lib/ternary/tbv.mli: Format Prng

@@ -1,0 +1,1 @@
+lib/topo/builder.ml: Array Hashtbl List Net Prng

@@ -1,0 +1,1 @@
+lib/topo/builder.mli: Net Prng

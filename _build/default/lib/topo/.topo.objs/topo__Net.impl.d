@@ -1,0 +1,1 @@
+lib/topo/net.ml: Array Format Hashtbl List Stdlib Ternary

@@ -1,0 +1,1 @@
+lib/topo/net.mli: Format Ternary

@@ -1,0 +1,63 @@
+let linear ~switches ~hosts_per_end =
+  if switches < 1 then invalid_arg "Builder.linear: need at least one switch";
+  let edges = List.init (switches - 1) (fun i -> (i, i + 1)) in
+  let host_attach =
+    Array.init (2 * hosts_per_end) (fun h ->
+        if h < hosts_per_end then 0 else switches - 1)
+  in
+  Net.create ~num_switches:switches ~edges ~host_attach ()
+
+let star ~leaves =
+  if leaves < 1 then invalid_arg "Builder.star: need at least one leaf";
+  let edges = List.init leaves (fun i -> (0, i + 1)) in
+  let host_attach = Array.init leaves (fun h -> h + 1) in
+  Net.create ~num_switches:(leaves + 1) ~edges ~host_attach ()
+
+let figure3 () =
+  Net.create ~num_switches:5
+    ~edges:[ (0, 1); (1, 2); (1, 3); (3, 4) ]
+    ~host_attach:[| 0; 2; 4 |] ()
+
+let leaf_spine ~spines ~leaves ~hosts_per_leaf =
+  if spines < 1 || leaves < 1 then
+    invalid_arg "Builder.leaf_spine: need at least one spine and one leaf";
+  let num_switches = spines + leaves in
+  let edges =
+    List.concat
+      (List.init leaves (fun l ->
+           List.init spines (fun s -> (s, spines + l))))
+  in
+  let kinds =
+    Array.init num_switches (fun i ->
+        if i < spines then Net.Core else Net.Edge)
+  in
+  let host_attach =
+    Array.init (leaves * hosts_per_leaf) (fun h -> spines + (h / hosts_per_leaf))
+  in
+  Net.create ~kinds ~num_switches ~edges ~host_attach ()
+
+let random_connected g ~switches ~extra_edges ~hosts =
+  if switches < 1 then invalid_arg "Builder.random_connected: need a switch";
+  (* Random spanning tree: attach node i to a uniformly random earlier node. *)
+  let edge_set = Hashtbl.create 64 in
+  let edges = ref [] in
+  let add a b =
+    let e = (min a b, max a b) in
+    if a <> b && not (Hashtbl.mem edge_set e) then begin
+      Hashtbl.add edge_set e ();
+      edges := e :: !edges;
+      true
+    end
+    else false
+  in
+  for i = 1 to switches - 1 do
+    ignore (add i (Prng.int g i))
+  done;
+  let max_edges = switches * (switches - 1) / 2 in
+  let budget = min extra_edges (max_edges - (switches - 1)) in
+  let added = ref 0 in
+  while !added < budget do
+    if add (Prng.int g switches) (Prng.int g switches) then incr added
+  done;
+  let host_attach = Array.init hosts (fun _ -> Prng.int g switches) in
+  Net.create ~num_switches:switches ~edges:!edges ~host_attach ()

@@ -1,0 +1,23 @@
+(** Small ad-hoc topologies for tests, examples and ablations. *)
+
+val linear : switches:int -> hosts_per_end:int -> Net.t
+(** A chain [s0 - s1 - ... - s_{n-1}]; [hosts_per_end] hosts attach to
+    each end switch.  This is the shape of the paper's Fig. 3 example. *)
+
+val star : leaves:int -> Net.t
+(** One hub switch, [leaves] leaf switches, one host per leaf. *)
+
+val figure3 : unit -> Net.t
+(** The exact 5-switch example of the paper's Fig. 3: ingress host 0 at
+    [s0]; two branches [s0-s1-s2] (host 1 at [s2]) and [s0-s1-s3-s4]
+    (host 2 at [s4]).  Switch ids shift the paper's 1-based [s1..s5] to
+    0-based [s0..s4]. *)
+
+val random_connected : Prng.t -> switches:int -> extra_edges:int -> hosts:int -> Net.t
+(** A uniformly random spanning tree plus [extra_edges] random chords;
+    hosts attach to random switches.  Always connected. *)
+
+val leaf_spine : spines:int -> leaves:int -> hosts_per_leaf:int -> Net.t
+(** A two-tier Clos: every leaf connects to every spine; hosts attach to
+    leaves.  Switch ids: spines [0, spines), then leaves.  The other
+    common data-center fabric besides the Fat-Tree. *)

@@ -1,0 +1,106 @@
+type kind = Core | Aggregation | Edge | Plain
+
+type t = {
+  adj : int list array;
+  edges : (int * int) list;
+  host_attach : int array;
+  hosts_by_switch : int list array;
+  kinds : kind array;
+}
+
+let create ?kinds ~num_switches ~edges ~host_attach () =
+  if num_switches < 0 then invalid_arg "Net.create: negative switch count";
+  let check_switch s =
+    if s < 0 || s >= num_switches then
+      invalid_arg "Net.create: switch id out of range"
+  in
+  let adj = Array.make num_switches [] in
+  let seen = Hashtbl.create 64 in
+  let norm_edges =
+    List.map
+      (fun (a, b) ->
+        check_switch a;
+        check_switch b;
+        if a = b then invalid_arg "Net.create: self-loop";
+        let e = (min a b, max a b) in
+        if Hashtbl.mem seen e then invalid_arg "Net.create: duplicate edge";
+        Hashtbl.add seen e ();
+        e)
+      edges
+  in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    norm_edges;
+  Array.iteri (fun i l -> adj.(i) <- List.sort_uniq Stdlib.compare l) adj;
+  Array.iter check_switch host_attach;
+  let hosts_by_switch = Array.make num_switches [] in
+  Array.iteri
+    (fun h s -> hosts_by_switch.(s) <- h :: hosts_by_switch.(s))
+    host_attach;
+  Array.iteri
+    (fun i l -> hosts_by_switch.(i) <- List.rev l)
+    hosts_by_switch;
+  let kinds =
+    match kinds with
+    | Some k ->
+      if Array.length k <> num_switches then
+        invalid_arg "Net.create: kinds length mismatch";
+      Array.copy k
+    | None -> Array.make num_switches Plain
+  in
+  {
+    adj;
+    edges = List.sort Stdlib.compare norm_edges;
+    host_attach = Array.copy host_attach;
+    hosts_by_switch;
+    kinds;
+  }
+
+let num_switches t = Array.length t.adj
+
+let num_hosts t = Array.length t.host_attach
+
+let neighbors t s = t.adj.(s)
+
+let degree t s = List.length t.adj.(s)
+
+let edges t = t.edges
+
+let host_attach t h = t.host_attach.(h)
+
+let hosts_of_switch t s = t.hosts_by_switch.(s)
+
+let kind t s = t.kinds.(s)
+
+let switches_of_kind t k =
+  let acc = ref [] in
+  for s = num_switches t - 1 downto 0 do
+    if t.kinds.(s) = k then acc := s :: !acc
+  done;
+  !acc
+
+let is_connected t =
+  let n = num_switches t in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let rec dfs s =
+      if not seen.(s) then begin
+        seen.(s) <- true;
+        List.iter dfs t.adj.(s)
+      end
+    in
+    dfs 0;
+    Array.for_all (fun x -> x) seen
+  end
+
+let host_address h = 0x0A000000 lor ((h land 0xFFFF) lsl 8) lor 1
+
+let host_prefix h = Ternary.Prefix.make (0x0A000000 lor ((h land 0xFFFF) lsl 8)) 24
+
+let pp fmt t =
+  Format.fprintf fmt "net: %d switches, %d hosts, %d links" (num_switches t)
+    (num_hosts t)
+    (List.length t.edges)

@@ -1,0 +1,1 @@
+test/test_acl.ml: Acl Alcotest Classbench List Policy Prng Redundancy Rule Ternary Util

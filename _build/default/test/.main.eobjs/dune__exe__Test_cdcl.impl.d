@@ -1,0 +1,1 @@
+test/test_cdcl.ml: Alcotest Array Cdcl List Printf Prng

@@ -1,0 +1,1 @@
+test/test_classbench.ml: Acl Alcotest Classbench List Placement Prng Routing Ternary Topo

@@ -1,0 +1,1 @@
+test/test_depgraph.ml: Acl Alcotest Classbench Depgraph List Placement Prng Ternary Util

@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Array Cdcl List Placement Prng Util

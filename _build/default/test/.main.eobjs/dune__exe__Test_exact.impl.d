@@ -1,0 +1,1 @@
+test/test_exact.ml: Acl Alcotest Array Classbench Cube List Option Placement Printf Prng Routing Tbv Ternary Topo Util

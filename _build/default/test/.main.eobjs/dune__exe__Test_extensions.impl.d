@@ -1,0 +1,1 @@
+test/test_extensions.ml: Acl Alcotest Array Balance Encode Ilp Instance List Option Placement Printf Prng Routing Solution Solve Ternary Test_placement Topo Util Verify

@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Brute Float Ilp List Model Printf Prng Solver String

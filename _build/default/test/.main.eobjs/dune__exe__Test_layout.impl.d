@@ -1,0 +1,1 @@
+test/test_layout.ml: Acl Alcotest Instance Layout List Placement Printf Routing Ternary Topo Util

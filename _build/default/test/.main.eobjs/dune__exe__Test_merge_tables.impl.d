@@ -1,0 +1,1 @@
+test/test_merge_tables.ml: Acl Alcotest Classbench Instance List Merge Netsim Option Placement Printf Prng Routing Solution Solve Tables Ternary Topo Util

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Acl Alcotest Array List Netsim Prng Routing Ternary Topo Util

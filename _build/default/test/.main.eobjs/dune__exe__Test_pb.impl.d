@@ -1,0 +1,1 @@
+test/test_pb.ml: Alcotest Array Cdcl List Pb Prng

@@ -1,0 +1,1 @@
+test/test_properties.ml: Classbench Ilp Incremental Instance Option Placement Printf Prng QCheck QCheck_alcotest Routing Solution Solve Topo Workload

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array List Prng Routing Stdlib Ternary Topo

@@ -1,0 +1,1 @@
+test/test_sat_opt.ml: Alcotest Classbench Ilp Instance Layout List Option Placement Printf Prng Routing Sat_encode Solution Solve Topo Util Verify

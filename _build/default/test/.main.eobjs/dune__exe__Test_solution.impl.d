@@ -1,0 +1,1 @@
+test/test_solution.ml: Acl Alcotest Array Instance Layout List Merge Placement Routing Solution Ternary Topo

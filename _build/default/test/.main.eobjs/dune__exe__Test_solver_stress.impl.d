@@ -1,0 +1,1 @@
+test/test_solver_stress.ml: Alcotest Array Cdcl Ilp List Prng Simplex

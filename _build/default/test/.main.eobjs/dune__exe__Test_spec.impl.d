@@ -1,0 +1,1 @@
+test/test_spec.ml: Acl Alcotest Array Filename Fun Instance List Placement Printf Prng Routing Solution Solve Spec String Sys Ternary Topo Util

@@ -1,0 +1,1 @@
+test/test_ternary.ml: Alcotest Field Fmt Format List Option Packet Prefix Printf Prng Proto QCheck QCheck_alcotest Range String Tbv Ternary

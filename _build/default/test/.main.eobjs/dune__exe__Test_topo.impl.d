@@ -1,0 +1,1 @@
+test/test_topo.ml: Alcotest Array Builder Fattree List Net Printf Prng Routing Ternary Topo

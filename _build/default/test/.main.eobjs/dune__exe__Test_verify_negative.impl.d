@@ -1,0 +1,1 @@
+test/test_verify_negative.ml: Acl Alcotest Array Instance List Option Placement Prng Routing Solution Solve Ternary Topo Util Verify

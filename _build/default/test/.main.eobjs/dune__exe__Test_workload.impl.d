@@ -1,0 +1,1 @@
+test/test_workload.ml: Acl Alcotest List Placement Printf Routing Stdlib Topo Workload

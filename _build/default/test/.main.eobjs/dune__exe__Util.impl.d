@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Array Classbench List Option Placement Prng Routing Ternary Topo

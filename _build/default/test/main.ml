@@ -1,0 +1,29 @@
+let () =
+  Alcotest.run "sdn_rule_placement"
+    [
+      ("prng", Test_prng.suite);
+      ("ternary", Test_ternary.suite);
+      ("acl", Test_acl.suite);
+      ("exact", Test_exact.suite);
+      ("topo", Test_topo.suite);
+      ("routing", Test_routing.suite);
+      ("classbench", Test_classbench.suite);
+      ("simplex", Test_simplex.suite);
+      ("ilp", Test_ilp.suite);
+      ("cdcl", Test_cdcl.suite);
+      ("dimacs", Test_dimacs.suite);
+      ("pb", Test_pb.suite);
+      ("solver-stress", Test_solver_stress.suite);
+      ("netsim", Test_netsim.suite);
+      ("depgraph", Test_depgraph.suite);
+      ("merge+tables", Test_merge_tables.suite);
+      ("layout", Test_layout.suite);
+      ("placement", Test_placement.suite);
+      ("extensions", Test_extensions.suite);
+      ("spec", Test_spec.suite);
+      ("solution", Test_solution.suite);
+      ("workload", Test_workload.suite);
+      ("verify-negative", Test_verify_negative.suite);
+      ("sat-opt", Test_sat_opt.suite);
+      ("properties", Test_properties.suite);
+    ]

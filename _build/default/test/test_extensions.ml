@@ -1,0 +1,196 @@
+(* Extensions beyond the paper's evaluation: the Section VII monitoring
+   constraint and the "weighted placement" objective it mentions. *)
+open Placement
+
+let solve_opts = Test_placement.solve_opts
+
+(* Linear chain 0-1-2 with a monitor at switch 1: the drop overlapping
+   the monitored region must land at or after switch 1. *)
+let monitor_instance () =
+  let net = Topo.Builder.linear ~switches:3 ~hosts_per_end:1 in
+  let routing =
+    Routing.Table.of_paths
+      [ Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1; 2 ] () ]
+  in
+  let policy =
+    Acl.Policy.of_fields [ (Util.field ~src:"10.0.0.0/8" (), Acl.Rule.Drop) ]
+  in
+  Instance.make ~net ~routing ~policies:[ (0, policy) ]
+    ~capacities:(Instance.uniform_capacity net 5)
+
+let monitored_region = Util.field ~src:"10.0.0.0/8" ()
+
+let test_monitor_moves_drop () =
+  let inst = monitor_instance () in
+  (* Without the monitor, the drop sits at the ingress switch. *)
+  let free = Solve.run ~options:(solve_opts ()) inst in
+  let free_sol = Option.get free.Solve.solution in
+  Alcotest.(check bool) "ingress used without monitor" true
+    (Solution.is_placed free_sol ~ingress:0 ~priority:1 ~switch:0);
+  (* With a monitor at switch 1, placements upstream are forbidden. *)
+  let options =
+    Solve.options ~monitors:[ (1, monitored_region) ]
+      ~ilp_config:{ Ilp.Solver.default_config with time_limit = 20.0 }
+      ()
+  in
+  let report = Solve.run ~options inst in
+  (match report.Solve.status with
+  | `Optimal -> ()
+  | s -> Alcotest.failf "expected optimal, got %a" Encode.pp_status s);
+  let sol = Option.get report.Solve.solution in
+  Alcotest.(check bool) "not upstream of monitor" false
+    (Solution.is_placed sol ~ingress:0 ~priority:1 ~switch:0);
+  Alcotest.(check bool) "placed at or after monitor" true
+    (Solution.is_placed sol ~ingress:0 ~priority:1 ~switch:1
+    || Solution.is_placed sol ~ingress:0 ~priority:1 ~switch:2);
+  Alcotest.(check int) "structural check passes" 0
+    (List.length (Verify.structural report.Solve.layout sol))
+
+let test_monitor_can_make_infeasible () =
+  (* Monitor at the last switch with zero capacity there: nowhere legal
+     to drop. *)
+  let net = Topo.Builder.linear ~switches:2 ~hosts_per_end:1 in
+  let routing =
+    Routing.Table.of_paths
+      [ Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1 ] () ]
+  in
+  let policy =
+    Acl.Policy.of_fields [ (Util.field ~src:"10.0.0.0/8" (), Acl.Rule.Drop) ]
+  in
+  let inst =
+    Instance.make ~net ~routing ~policies:[ (0, policy) ]
+      ~capacities:[| 5; 0 |]
+  in
+  let options = Solve.options ~monitors:[ (1, monitored_region) ] () in
+  match (Solve.run ~options inst).Solve.status with
+  | `Infeasible -> ()
+  | s -> Alcotest.failf "expected infeasible, got %a" Encode.pp_status s
+
+let test_monitor_disjoint_region_unaffected () =
+  let inst = monitor_instance () in
+  let other_region = Util.field ~src:"11.0.0.0/8" () in
+  let options = Solve.options ~monitors:[ (1, other_region) ] () in
+  let report = Solve.run ~options inst in
+  let sol = Option.get report.Solve.solution in
+  Alcotest.(check bool) "disjoint monitor leaves ingress placement" true
+    (Solution.is_placed sol ~ingress:0 ~priority:1 ~switch:0)
+
+let test_monitor_sat_engine_agrees () =
+  let inst = monitor_instance () in
+  let options =
+    Solve.options ~monitors:[ (1, monitored_region) ]
+      ~engine:Solve.Sat_engine ()
+  in
+  let report = Solve.run ~options inst in
+  (match report.Solve.status with
+  | `Feasible -> ()
+  | s -> Alcotest.failf "expected feasible, got %a" Encode.pp_status s);
+  let sol = Option.get report.Solve.solution in
+  Alcotest.(check bool) "sat engine also avoids upstream" false
+    (Solution.is_placed sol ~ingress:0 ~priority:1 ~switch:0)
+
+let test_switch_weighted_objective () =
+  (* Penalize the ingress switch heavily: the drop should move off it
+     even though capacity is ample. *)
+  let inst = monitor_instance () in
+  let weights = [| 100.0; 1.0; 1.0 |] in
+  let options =
+    Solve.options ~objective:(Encode.Switch_weighted weights) ()
+  in
+  let report = Solve.run ~options inst in
+  let sol = Option.get report.Solve.solution in
+  Alcotest.(check bool) "expensive switch avoided" false
+    (Solution.is_placed sol ~ingress:0 ~priority:1 ~switch:0);
+  Alcotest.(check (float 1e-6)) "objective is the weight" 1.0
+    sol.Solution.objective
+
+let test_weighted_random_verified () =
+  let g = Prng.create 555 in
+  for i = 1 to 10 do
+    let inst = Util.random_instance g in
+    let n = Topo.Net.num_switches inst.Instance.net in
+    let weights = Array.init n (fun _ -> 1.0 +. Prng.float g 5.0) in
+    let report =
+      Solve.run
+        ~options:(Solve.options ~objective:(Encode.Switch_weighted weights) ())
+        inst
+    in
+    match report.Solve.status with
+    | `Optimal | `Feasible ->
+      Util.check_no_violations (Printf.sprintf "weighted %d" i) g report
+    | `Infeasible | `Unknown -> ()
+  done
+
+let suite =
+  [
+    Alcotest.test_case "monitor moves drop downstream" `Quick test_monitor_moves_drop;
+    Alcotest.test_case "monitor can force infeasibility" `Quick test_monitor_can_make_infeasible;
+    Alcotest.test_case "disjoint monitor is inert" `Quick test_monitor_disjoint_region_unaffected;
+    Alcotest.test_case "sat engine honors monitors" `Quick test_monitor_sat_engine_agrees;
+    Alcotest.test_case "switch-weighted objective" `Quick test_switch_weighted_objective;
+    Alcotest.test_case "weighted random verified" `Quick test_weighted_random_verified;
+  ]
+
+(* Balance: minimize the maximum table occupancy (the "slack" objective
+   sketch from Section VI). *)
+let test_balance_min_max_usage () =
+  (* Figure-3 shape with generous capacities: the total-rules optimum
+     piles 3 rules onto one switch, but spreading achieves max 2. *)
+  let inst = monitor_instance () in
+  match Balance.min_max_usage ~options:(solve_opts ()) inst with
+  | None -> Alcotest.fail "feasible instance reported none"
+  | Some { budget; report; probes } ->
+    Alcotest.(check bool) "some probes ran" true (probes >= 1);
+    let sol = Option.get report.Solve.solution in
+    let max_usage = Array.fold_left max 0 (Solution.switch_usage sol) in
+    Alcotest.(check int) "budget matches witness" budget max_usage;
+    (* The single drop rule needs exactly one slot somewhere: budget 1. *)
+    Alcotest.(check int) "minimal budget" 1 budget
+
+let test_balance_spreads_load () =
+  (* Two disjoint drops, two-switch chain, both could fit on switch 0 —
+     balancing must split them 1/1. *)
+  let net = Topo.Builder.linear ~switches:2 ~hosts_per_end:1 in
+  let routing =
+    Routing.Table.of_paths
+      [ Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1 ] () ]
+  in
+  let policy =
+    Acl.Policy.of_fields
+      [
+        (Util.field ~src:"10.1.0.0/16" (), Acl.Rule.Drop);
+        (Util.field ~src:"10.2.0.0/16" (), Acl.Rule.Drop);
+      ]
+  in
+  let inst =
+    Instance.make ~net ~routing ~policies:[ (0, policy) ] ~capacities:[| 5; 5 |]
+  in
+  match Balance.min_max_usage ~options:(solve_opts ()) inst with
+  | None -> Alcotest.fail "feasible instance"
+  | Some { budget; report; _ } ->
+    Alcotest.(check int) "balanced budget" 1 budget;
+    let sol = Option.get report.Solve.solution in
+    Alcotest.(check (array int)) "one rule per switch" [| 1; 1 |]
+      (Solution.switch_usage sol)
+
+let test_balance_infeasible () =
+  let inst =
+    Instance.make
+      ~net:(Topo.Builder.linear ~switches:1 ~hosts_per_end:1)
+      ~routing:
+        (Routing.Table.of_paths
+           [ Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0 ] () ])
+      ~policies:
+        [ (0, Acl.Policy.of_fields [ (Ternary.Field.any, Acl.Rule.Drop) ]) ]
+      ~capacities:[| 0 |]
+  in
+  Alcotest.(check bool) "none on infeasible" true
+    (Balance.min_max_usage ~options:(solve_opts ()) inst = None)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "balance: min-max usage" `Quick test_balance_min_max_usage;
+      Alcotest.test_case "balance: spreads load" `Quick test_balance_spreads_load;
+      Alcotest.test_case "balance: infeasible" `Quick test_balance_infeasible;
+    ]

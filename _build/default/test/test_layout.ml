@@ -1,0 +1,123 @@
+(* Unit tests for the constraint layout itself: variable scoping,
+   constraint counts, slicing and capacity-row pruning. *)
+open Placement
+
+let drop f = (f, Acl.Rule.Drop)
+let permit f = (f, Acl.Rule.Permit)
+
+let two_path_instance ~capacity =
+  let net = Topo.Builder.figure3 () in
+  let routing =
+    Routing.Table.of_paths
+      [
+        Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1; 2 ] ();
+        Routing.Path.make ~ingress:0 ~egress:2 ~switches:[ 0; 1; 3; 4 ] ();
+      ]
+  in
+  let policy =
+    Acl.Policy.of_fields
+      [
+        permit (Util.field ~src:"10.1.0.0/16" ());
+        drop (Util.field ~src:"10.0.0.0/8" ());
+        permit (Util.field ~src:"11.0.0.0/8" ());
+      ]
+  in
+  Instance.make ~net ~routing ~policies:[ (0, policy) ]
+    ~capacities:(Instance.uniform_capacity net capacity)
+
+let test_variable_scoping () =
+  let layout = Layout.build (two_path_instance ~capacity:10) in
+  (* S_0 = all five switches; placed rules = the drop + its one dependent
+     permit (the trailing permit is irrelevant: nothing depends on it). *)
+  Alcotest.(check int) "vars = 2 rules x 5 switches" 10 (Layout.num_vars layout);
+  (* The irrelevant permit (priority 1) gets no variables anywhere. *)
+  for k = 0 to 4 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "irrelevant permit unplaced at %d" k)
+      None
+      (Layout.var layout ~ingress:0 ~priority:1 ~switch:k)
+  done;
+  (* One implication per switch; one cover per path. *)
+  Alcotest.(check int) "implications" 5 (List.length layout.Layout.implications);
+  Alcotest.(check int) "covers" 2 (List.length layout.Layout.covers);
+  (* Capacity 10 can never bind (at most 2 rules per switch): no rows. *)
+  Alcotest.(check int) "no capacity rows" 0 (List.length layout.Layout.capacities)
+
+let test_capacity_rows_appear_when_binding () =
+  let layout = Layout.build (two_path_instance ~capacity:1) in
+  (* Two potential rules per switch > capacity 1: every switch with vars
+     gets a row. *)
+  Alcotest.(check int) "capacity rows" 5 (List.length layout.Layout.capacities);
+  List.iter
+    (fun (c : Layout.capacity) ->
+      Alcotest.(check int) "bound" 1 c.Layout.bound;
+      Alcotest.(check int) "two plain vars" 2 (List.length c.Layout.plain))
+    layout.Layout.capacities
+
+let test_cover_uses_path_switches_only () =
+  let layout = Layout.build (two_path_instance ~capacity:10) in
+  List.iter
+    (fun cover ->
+      let len = List.length cover in
+      Alcotest.(check bool) "cover size = path length" true
+        (len = 3 || len = 4))
+    layout.Layout.covers
+
+let test_baseline_counts_required_set () =
+  let layout = Layout.build (two_path_instance ~capacity:10) in
+  (* A = drop + its dependent permit. *)
+  Alcotest.(check int) "A" 2 layout.Layout.baseline_rule_count
+
+let test_sliced_layout_prunes () =
+  let net = Topo.Builder.figure3 () in
+  let flow_to h = Ternary.Field.make ~dst:(Topo.Net.host_prefix h) () in
+  let routing =
+    Routing.Table.of_paths
+      [
+        Routing.Path.make ~flow:(flow_to 1) ~ingress:0 ~egress:1
+          ~switches:[ 0; 1; 2 ] ();
+        Routing.Path.make ~flow:(flow_to 2) ~ingress:0 ~egress:2
+          ~switches:[ 0; 1; 3; 4 ] ();
+      ]
+  in
+  let dst_field h =
+    Util.field ~dst:(Ternary.Prefix.to_string (Topo.Net.host_prefix h)) ()
+  in
+  let policy =
+    Acl.Policy.of_fields
+      [ (dst_field 1, Acl.Rule.Drop); (dst_field 2, Acl.Rule.Drop) ]
+  in
+  let inst =
+    Instance.make ~net ~routing ~policies:[ (0, policy) ]
+      ~capacities:(Instance.uniform_capacity net 5)
+  in
+  let unsliced = Layout.build inst in
+  let sliced = Layout.build ~sliced:true inst in
+  (* Unsliced: 2 covers per drop (both paths).  Sliced: 1 each. *)
+  Alcotest.(check int) "unsliced covers" 4 (List.length unsliced.Layout.covers);
+  Alcotest.(check int) "sliced covers" 2 (List.length sliced.Layout.covers)
+
+let test_monitor_forbidden_vars () =
+  let inst = two_path_instance ~capacity:10 in
+  let monitors = [ (1, Util.field ~src:"10.0.0.0/8" ()) ] in
+  let layout = Layout.build ~monitors inst in
+  (* The drop (priority 2) is pinned to 0 at switch 0 (upstream of the
+     monitor on both paths); the permit is not a drop, so unaffected. *)
+  Alcotest.(check bool) "drop forbidden at 0" true
+    (Layout.is_forbidden layout ~ingress:0 ~priority:2 ~switch:0);
+  Alcotest.(check bool) "drop allowed at 1" false
+    (Layout.is_forbidden layout ~ingress:0 ~priority:2 ~switch:1);
+  Alcotest.(check bool) "permit unaffected" false
+    (Layout.is_forbidden layout ~ingress:0 ~priority:3 ~switch:0);
+  Alcotest.(check int) "one forbidden var" 1
+    (List.length layout.Layout.forbidden)
+
+let suite =
+  [
+    Alcotest.test_case "variable scoping" `Quick test_variable_scoping;
+    Alcotest.test_case "capacity rows bind" `Quick test_capacity_rows_appear_when_binding;
+    Alcotest.test_case "covers follow paths" `Quick test_cover_uses_path_switches_only;
+    Alcotest.test_case "baseline A" `Quick test_baseline_counts_required_set;
+    Alcotest.test_case "sliced pruning" `Quick test_sliced_layout_prunes;
+    Alcotest.test_case "monitor forbidden vars" `Quick test_monitor_forbidden_vars;
+  ]

@@ -1,0 +1,112 @@
+let test_bfs_distances () =
+  let net = Topo.Builder.linear ~switches:5 ~hosts_per_end:1 in
+  let d = Routing.Shortest.distances net 0 in
+  Alcotest.(check (array int)) "chain distances" [| 0; 1; 2; 3; 4 |] d
+
+let test_random_shortest_path_valid () =
+  let g = Prng.create 17 in
+  for _ = 1 to 30 do
+    let net =
+      Topo.Builder.random_connected g ~switches:(2 + Prng.int g 12)
+        ~extra_edges:(Prng.int g 8) ~hosts:2
+    in
+    let n = Topo.Net.num_switches net in
+    let src = Prng.int g n and dst = Prng.int g n in
+    match Routing.Shortest.random_shortest_path g net ~src ~dst with
+    | None -> Alcotest.fail "connected graph must have a path"
+    | Some path ->
+      let d = Routing.Shortest.distances net dst in
+      Alcotest.(check int) "length is shortest" (d.(src) + 1)
+        (List.length path);
+      Alcotest.(check int) "starts at src" src (List.hd path);
+      (* consecutive switches adjacent *)
+      let rec check_adj = function
+        | a :: (b :: _ as rest) ->
+          Alcotest.(check bool) "adjacent" true
+            (List.mem b (Topo.Net.neighbors net a));
+          check_adj rest
+        | _ -> ()
+      in
+      check_adj path
+  done
+
+let test_all_shortest_paths_fattree () =
+  (* In a k=4 fat-tree, two hosts in different pods have k^2/4 = 4
+     shortest paths (one per core). *)
+  let net = Topo.Fattree.make 4 in
+  let src = Topo.Net.host_attach net 0 in
+  let dst = Topo.Net.host_attach net (Topo.Net.num_hosts net - 1) in
+  Alcotest.(check int) "ecmp count" 4
+    (Routing.Shortest.count_shortest_paths net ~src ~dst);
+  let all = Routing.Shortest.all_shortest_paths net ~src ~dst in
+  Alcotest.(check int) "enumerated" 4 (List.length all);
+  let distinct = List.sort_uniq Stdlib.compare all in
+  Alcotest.(check int) "distinct" 4 (List.length distinct)
+
+let test_table_grouping () =
+  let p1 = Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1 ] () in
+  let p2 = Routing.Path.make ~ingress:0 ~egress:2 ~switches:[ 0; 2 ] () in
+  let p3 = Routing.Path.make ~ingress:3 ~egress:1 ~switches:[ 2; 1 ] () in
+  let t = Routing.Table.of_paths [ p1; p2; p3 ] in
+  Alcotest.(check int) "num paths" 3 (Routing.Table.num_paths t);
+  Alcotest.(check (list int)) "ingresses" [ 0; 3 ] (Routing.Table.ingresses t);
+  Alcotest.(check int) "paths from 0" 2
+    (List.length (Routing.Table.paths_from t 0));
+  Alcotest.(check (list int)) "S_0" [ 0; 1; 2 ]
+    (Routing.Table.switches_from t 0);
+  let t' = Routing.Table.remove_ingress t 0 in
+  Alcotest.(check int) "after removal" 1 (Routing.Table.num_paths t')
+
+let test_spray_properties () =
+  let g = Prng.create 23 in
+  let net = Topo.Fattree.make 4 in
+  let ingresses = [ 0; 1; 2; 3 ] in
+  let t = Routing.Table.spray ~slice:true g net ~ingresses ~total_paths:40 in
+  Alcotest.(check int) "total paths" 40 (Routing.Table.num_paths t);
+  List.iter
+    (fun (p : Routing.Path.t) ->
+      Alcotest.(check bool) "ingress in set" true
+        (List.mem p.Routing.Path.ingress ingresses);
+      Alcotest.(check bool) "egress differs" true
+        (p.Routing.Path.egress <> p.Routing.Path.ingress);
+      (* Sliced flow points at the egress /24. *)
+      Alcotest.(check bool) "flow matches egress prefix" true
+        (Ternary.Prefix.equal
+           (Topo.Net.host_prefix p.Routing.Path.egress)
+           p.Routing.Path.flow.Ternary.Field.dst);
+      Alcotest.(check int) "starts at ingress attach"
+        (Topo.Net.host_attach net p.Routing.Path.ingress)
+        p.Routing.Path.switches.(0))
+    (Routing.Table.paths t)
+
+let test_path_position () =
+  let p = Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 4; 7; 9 ] () in
+  Alcotest.(check (option int)) "pos head" (Some 0) (Routing.Path.position p 4);
+  Alcotest.(check (option int)) "pos tail" (Some 2) (Routing.Path.position p 9);
+  Alcotest.(check (option int)) "absent" None (Routing.Path.position p 5);
+  Alcotest.(check int) "length" 3 (Routing.Path.length p)
+
+let suite =
+  [
+    Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+    Alcotest.test_case "random shortest paths valid" `Quick test_random_shortest_path_valid;
+    Alcotest.test_case "fat-tree ecmp" `Quick test_all_shortest_paths_fattree;
+    Alcotest.test_case "table grouping" `Quick test_table_grouping;
+    Alcotest.test_case "spray properties" `Quick test_spray_properties;
+    Alcotest.test_case "path position" `Quick test_path_position;
+  ]
+
+let test_ecmp_table () =
+  let net = Topo.Fattree.make 4 in
+  let src = 0 and dst = Topo.Net.num_hosts net - 1 in
+  let t = Routing.Table.ecmp net ~pairs:[ (src, dst) ] in
+  Alcotest.(check int) "all 4 ecmp paths" 4 (Routing.Table.num_paths t);
+  List.iter
+    (fun (p : Routing.Path.t) ->
+      Alcotest.(check int) "ingress" src p.Routing.Path.ingress;
+      Alcotest.(check int) "egress" dst p.Routing.Path.egress)
+    (Routing.Table.paths t);
+  let limited = Routing.Table.ecmp ~limit:2 net ~pairs:[ (src, dst) ] in
+  Alcotest.(check int) "limit respected" 2 (Routing.Table.num_paths limited)
+
+let suite = suite @ [ Alcotest.test_case "ecmp table" `Quick test_ecmp_table ]

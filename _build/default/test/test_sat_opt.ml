@@ -1,0 +1,109 @@
+(* SAT-based minimization must reproduce the ILP optimum: two fully
+   independent optimizing solvers agreeing on random instances is strong
+   evidence both are right. *)
+open Placement
+
+let ilp_optimum inst =
+  let report =
+    Solve.run
+      ~options:
+        (Solve.options
+           ~ilp_config:{ Ilp.Solver.default_config with time_limit = 20.0 }
+           ())
+      inst
+  in
+  match (report.Solve.status, report.Solve.solution) with
+  | `Optimal, Some sol -> Some (Solution.total_entries sol, report.Solve.layout)
+  | `Infeasible, _ -> None
+  | _ -> raise Exit (* unproven: skip the comparison *)
+
+let test_agrees_with_ilp () =
+  let g = Prng.create 424 in
+  let compared = ref 0 and infeasible = ref 0 in
+  for i = 1 to 25 do
+    let inst = Util.random_instance ~max_rules:8 g in
+    match ilp_optimum inst with
+    | exception Exit -> ()
+    | None ->
+      incr infeasible;
+      let layout = Layout.build inst in
+      let r = Sat_encode.minimize layout in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: sat agrees on infeasible" i)
+        true
+        (r.Sat_encode.opt_status = `Unsat)
+    | Some (opt, layout) -> (
+      let r = Sat_encode.minimize layout in
+      match (r.Sat_encode.opt_status, r.Sat_encode.opt_solution) with
+      | `Optimal, Some sol ->
+        incr compared;
+        Alcotest.(check int)
+          (Printf.sprintf "case %d: same optimum" i)
+          opt
+          (Solution.total_entries sol);
+        (* And the SAT optimum is a genuinely correct placement. *)
+        let violations = Verify.structural layout sol in
+        Alcotest.(check int)
+          (Printf.sprintf "case %d: sat optimum verifies" i)
+          0 (List.length violations)
+      | s, _ ->
+        Alcotest.failf "case %d: sat-opt returned %s" i
+          (match s with
+          | `Optimal -> "optimal-without-solution"
+          | `Feasible -> "feasible"
+          | `Unsat -> "unsat"
+          | `Unknown -> "unknown"))
+  done;
+  Alcotest.(check bool) "compared several optima" true (!compared >= 8)
+
+let test_minimize_with_merging () =
+  (* The SAT optimum under merging must also match the merged ILP
+     optimum (counting auxiliaries make merged entries cost one). *)
+  let net = Topo.Builder.star ~leaves:3 in
+  let routing =
+    Routing.Table.of_paths
+      [
+        Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 1; 0; 2 ] ();
+        Routing.Path.make ~ingress:1 ~egress:2 ~switches:[ 2; 0; 3 ] ();
+        Routing.Path.make ~ingress:2 ~egress:0 ~switches:[ 3; 0; 1 ] ();
+      ]
+  in
+  let g = Prng.create 31 in
+  let blacklist = Classbench.blacklist g ~num:3 in
+  let policies =
+    List.map
+      (fun i ->
+        (i, Classbench.with_blacklist (Classbench.policy g ~num_rules:2) blacklist))
+      [ 0; 1; 2 ]
+  in
+  let inst =
+    Instance.make ~net ~routing ~policies
+      ~capacities:(Instance.uniform_capacity net 20)
+  in
+  let ilp =
+    Solve.run ~options:(Solve.options ~merge:true ()) inst
+  in
+  let ilp_entries =
+    Solution.total_entries (Option.get ilp.Solve.solution)
+  in
+  Alcotest.(check bool) "ilp optimal" true (ilp.Solve.status = `Optimal);
+  let r = Sat_encode.minimize ilp.Solve.layout in
+  match (r.Sat_encode.opt_status, r.Sat_encode.opt_solution) with
+  | `Optimal, Some sol ->
+    Alcotest.(check int) "merged optima agree" ilp_entries
+      (Solution.total_entries sol)
+  | _ -> Alcotest.fail "sat-opt failed on merged layout"
+
+let test_budget_returns_feasible () =
+  let g = Prng.create 55 in
+  let inst = Util.random_instance ~max_rules:8 ~capacity_lo:8 g in
+  let layout = Layout.build inst in
+  match (Sat_encode.minimize ~conflict_limit:1 layout).Sat_encode.opt_status with
+  | `Feasible | `Optimal | `Unsat | `Unknown -> ()
+
+let suite =
+  [
+    Alcotest.test_case "agrees with ilp optimum" `Quick test_agrees_with_ilp;
+    Alcotest.test_case "merged optima agree" `Quick test_minimize_with_merging;
+    Alcotest.test_case "tiny budget degrades gracefully" `Quick test_budget_returns_feasible;
+  ]

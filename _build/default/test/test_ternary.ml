@@ -1,0 +1,297 @@
+open Ternary
+
+(* ---------- generators ---------- *)
+
+let tbv_gen width =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        Tbv.random (Prng.create seed) ~width ~star_prob:0.4)
+      int)
+
+let tbv_arb width = QCheck.make ~print:Tbv.to_string (tbv_gen width)
+
+let prefix_gen =
+  QCheck.Gen.(
+    map2
+      (fun addr len -> Prefix.make (abs addr land 0xFFFFFFFF) (abs len mod 33))
+      int int)
+
+let prefix_arb = QCheck.make ~print:Prefix.to_string prefix_gen
+
+let range_gen =
+  QCheck.Gen.(
+    map2
+      (fun a b ->
+        let a = abs a mod 65536 and b = abs b mod 65536 in
+        Range.make (min a b) (max a b))
+      int int)
+
+let range_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Range.pp) range_gen
+
+let field_gen =
+  QCheck.Gen.(
+    map
+      (fun seed ->
+        let g = Prng.create seed in
+        let prefix () =
+          Prefix.random_subprefix g
+            (Prefix.make 0x0A000000 8)
+            ~len:(Prng.int_in g 8 32)
+        in
+        let range () =
+          if Prng.bool g then Range.full
+          else
+            let lo = Prng.int g 65000 in
+            Range.make lo (min Range.max_value (lo + Prng.int g 600))
+        in
+        Field.make ~src:(prefix ()) ~dst:(prefix ()) ~sport:(range ())
+          ~dport:(range ())
+          ~proto:(if Prng.bool g then Proto.Any else Proto.tcp)
+          ())
+      int)
+
+let field_arb =
+  QCheck.make ~print:(Format.asprintf "%a" Field.pp) field_gen
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- Tbv unit tests ---------- *)
+
+let test_tbv_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Tbv.to_string (Tbv.of_string s)))
+    [ "01*1"; "****"; "0"; "1"; "0101010101010101010101010101010101" ]
+
+let test_tbv_basic_ops () =
+  let a = Tbv.of_string "01*" and b = Tbv.of_string "0*1" in
+  Alcotest.(check bool) "not disjoint" false (Tbv.is_disjoint a b);
+  (match Tbv.inter a b with
+  | Some i -> Alcotest.(check string) "intersection" "011" (Tbv.to_string i)
+  | None -> Alcotest.fail "expected overlap");
+  let c = Tbv.of_string "1**" in
+  Alcotest.(check bool) "disjoint" true (Tbv.is_disjoint a c);
+  Alcotest.(check (option string)) "inter none" None
+    (Option.map Tbv.to_string (Tbv.inter a c));
+  Alcotest.(check bool) "subsumes" true
+    (Tbv.subsumes (Tbv.of_string "0**") a);
+  Alcotest.(check bool) "not subsumes" false
+    (Tbv.subsumes a (Tbv.of_string "0**"));
+  Alcotest.(check int) "stars" 1 (Tbv.num_stars a)
+
+let test_tbv_prefix_concat () =
+  let p = Tbv.prefix ~width:8 ~value:0b10110000 ~len:4 in
+  Alcotest.(check string) "prefix" "1011****" (Tbv.to_string p);
+  let e = Tbv.exact ~width:4 0b0110 in
+  Alcotest.(check string) "exact" "0110" (Tbv.to_string e);
+  Alcotest.(check string) "concat" "1011****0110"
+    (Tbv.to_string (Tbv.concat p e));
+  Alcotest.(check bool) "matches" true (Tbv.matches_int p 0b10111111);
+  Alcotest.(check bool) "no match" false (Tbv.matches_int p 0b00111111)
+
+let test_tbv_wide () =
+  (* Cross the 32-bit word boundary. *)
+  let s = String.init 104 (fun i -> if i mod 7 = 0 then '*' else if i mod 2 = 0 then '1' else '0') in
+  let t = Tbv.of_string s in
+  Alcotest.(check string) "wide roundtrip" s (Tbv.to_string t);
+  Alcotest.(check bool) "self subsumes" true (Tbv.subsumes t t);
+  Alcotest.(check bool) "all-star subsumes" true
+    (Tbv.subsumes (Tbv.all_star 104) t)
+
+(* ---------- Tbv properties ---------- *)
+
+let prop_inter_commutative =
+  QCheck.Test.make ~name:"tbv inter commutative" ~count:500
+    (QCheck.pair (tbv_arb 40) (tbv_arb 40))
+    (fun (a, b) ->
+      match (Tbv.inter a b, Tbv.inter b a) with
+      | None, None -> true
+      | Some x, Some y -> Tbv.equal x y
+      | _ -> false)
+
+let prop_inter_subsumed =
+  QCheck.Test.make ~name:"tbv inter subsumed by both" ~count:500
+    (QCheck.pair (tbv_arb 40) (tbv_arb 40))
+    (fun (a, b) ->
+      match Tbv.inter a b with
+      | None -> true
+      | Some i -> Tbv.subsumes a i && Tbv.subsumes b i)
+
+let prop_member_matches =
+  QCheck.Test.make ~name:"tbv random member matches" ~count:500 (tbv_arb 40)
+    (fun t ->
+      let g = Prng.create (Tbv.hash t) in
+      Tbv.matches_int t (Tbv.random_member g t))
+
+let prop_disjoint_no_common_member =
+  QCheck.Test.make ~name:"tbv disjoint semantics" ~count:500
+    (QCheck.pair (tbv_arb 16) (tbv_arb 16))
+    (fun (a, b) ->
+      if Tbv.is_disjoint a b then begin
+        (* No 16-bit value matches both: exhaustive. *)
+        let ok = ref true in
+        for v = 0 to 65535 do
+          if Tbv.matches_int a v && Tbv.matches_int b v then ok := false
+        done;
+        !ok
+      end
+      else
+        match Tbv.inter a b with
+        | None -> false
+        | Some i ->
+          let g = Prng.create 3 in
+          let v = Tbv.random_member g i in
+          Tbv.matches_int a v && Tbv.matches_int b v)
+
+(* ---------- Prefix ---------- *)
+
+let test_prefix_parse () =
+  let p = Prefix.of_string "10.1.2.0/24" in
+  Alcotest.(check string) "roundtrip" "10.1.2.0/24" (Prefix.to_string p);
+  Alcotest.(check bool) "member" true
+    (Prefix.member p (Prefix.addr (Prefix.of_string "10.1.2.77")));
+  Alcotest.(check bool) "non member" false
+    (Prefix.member p (Prefix.addr (Prefix.of_string "10.1.3.0")));
+  Alcotest.check Alcotest.(testable (Fmt.of_to_string Prefix.to_string) Prefix.equal)
+    "low bits cleared" (Prefix.of_string "10.1.2.0/24")
+    (Prefix.make (Prefix.addr (Prefix.of_string "10.1.2.200")) 24)
+
+let prop_prefix_laminar =
+  QCheck.Test.make ~name:"prefixes are laminar" ~count:1000
+    (QCheck.pair prefix_arb prefix_arb)
+    (fun (p, q) ->
+      match Prefix.inter p q with
+      | Some i -> Prefix.equal i p || Prefix.equal i q
+      | None -> not (Prefix.overlaps p q))
+
+let prop_prefix_tbv_agree =
+  QCheck.Test.make ~name:"prefix tbv agrees with member" ~count:300
+    (QCheck.pair prefix_arb QCheck.int)
+    (fun (p, seed) ->
+      let g = Prng.create seed in
+      let addr = Prng.int g 0x100000000 in
+      (* Compare via two 16-bit halves because matches_int caps at 62. *)
+      let t = Prefix.to_tbv p in
+      let matches =
+        let ok = ref true in
+        for i = 0 to 31 do
+          match Tbv.get t i with
+          | Tbv.Star -> ()
+          | Tbv.Zero -> if (addr lsr (31 - i)) land 1 <> 0 then ok := false
+          | Tbv.One -> if (addr lsr (31 - i)) land 1 <> 1 then ok := false
+        done;
+        !ok
+      in
+      matches = Prefix.member p addr)
+
+let prop_subprefix_contained =
+  QCheck.Test.make ~name:"random subprefix contained" ~count:300
+    (QCheck.pair prefix_arb QCheck.small_int)
+    (fun (p, seed) ->
+      let g = Prng.create seed in
+      let len = Prefix.len p + Prng.int g (33 - Prefix.len p) in
+      Prefix.subsumes p (Prefix.random_subprefix g p ~len))
+
+(* ---------- Range ---------- *)
+
+let test_range_prefixes_exact () =
+  List.iter
+    (fun (lo, hi) ->
+      let r = Range.make lo hi in
+      let blocks = Range.to_prefixes r in
+      (* Exactness: membership in the range equals membership in exactly
+         one block. *)
+      for v = max 0 (lo - 2) to min Range.max_value (hi + 2) do
+        let in_blocks =
+          List.length
+            (List.filter
+               (fun (base, len) ->
+                 let size = 1 lsl (Range.bits - len) in
+                 v >= base && v < base + size)
+               blocks)
+        in
+        Alcotest.(check int)
+          (Printf.sprintf "[%d,%d] v=%d" lo hi v)
+          (if Range.member r v then 1 else 0)
+          in_blocks
+      done)
+    [ (0, 65535); (80, 80); (1024, 65535); (5, 27); (0, 7); (1, 6); (1000, 1999) ]
+
+let prop_range_prefix_count =
+  QCheck.Test.make ~name:"range prefix cover bounded by 2w-2" ~count:500
+    range_arb
+    (fun r -> List.length (Range.to_prefixes r) <= (2 * Range.bits) - 2)
+
+let prop_range_inter =
+  QCheck.Test.make ~name:"range intersection semantics" ~count:500
+    (QCheck.triple range_arb range_arb QCheck.small_int)
+    (fun (a, b, v) ->
+      let v = v mod 65536 in
+      let in_inter =
+        match Range.inter a b with Some i -> Range.member i v | None -> false
+      in
+      in_inter = (Range.member a v && Range.member b v))
+
+(* ---------- Field ---------- *)
+
+let prop_field_inter_semantics =
+  QCheck.Test.make ~name:"field intersection = conjunction" ~count:400
+    (QCheck.triple field_arb field_arb QCheck.int)
+    (fun (a, b, seed) ->
+      let g = Prng.create seed in
+      let p = Packet.random g in
+      let in_inter =
+        match Field.inter a b with Some i -> Field.matches i p | None -> false
+      in
+      in_inter = (Field.matches a p && Field.matches b p))
+
+let prop_field_random_packet_matches =
+  QCheck.Test.make ~name:"field random packet matches" ~count:400
+    (QCheck.pair field_arb QCheck.int)
+    (fun (f, seed) ->
+      let g = Prng.create seed in
+      Field.matches f (Field.random_packet g f))
+
+let prop_field_subsumes =
+  QCheck.Test.make ~name:"field subsumption semantics" ~count:400
+    (QCheck.triple field_arb field_arb QCheck.int)
+    (fun (a, b, seed) ->
+      QCheck.assume (Field.subsumes a b);
+      let g = Prng.create seed in
+      Field.matches a (Field.random_packet g b))
+
+let test_field_tcam_expansion () =
+  (* A port range that is not a prefix costs several TCAM entries. *)
+  let f = Field.make ~dport:(Range.make 1 6) () in
+  Alcotest.(check int) "range 1-6 costs 4 prefixes" 4 (Field.tcam_entries f);
+  Alcotest.(check int) "expansion length matches"
+    (Field.tcam_entries f)
+    (List.length (Field.to_tbvs f));
+  List.iter
+    (fun t -> Alcotest.(check int) "width" Field.width (Tbv.width t))
+    (Field.to_tbvs f)
+
+let suite =
+  [
+    Alcotest.test_case "tbv string roundtrip" `Quick test_tbv_string_roundtrip;
+    Alcotest.test_case "tbv basic ops" `Quick test_tbv_basic_ops;
+    Alcotest.test_case "tbv prefix/concat" `Quick test_tbv_prefix_concat;
+    Alcotest.test_case "tbv wide vectors" `Quick test_tbv_wide;
+    qtest prop_inter_commutative;
+    qtest prop_inter_subsumed;
+    qtest prop_member_matches;
+    qtest prop_disjoint_no_common_member;
+    Alcotest.test_case "prefix parse" `Quick test_prefix_parse;
+    qtest prop_prefix_laminar;
+    qtest prop_prefix_tbv_agree;
+    qtest prop_subprefix_contained;
+    Alcotest.test_case "range prefix exactness" `Quick test_range_prefixes_exact;
+    qtest prop_range_prefix_count;
+    qtest prop_range_inter;
+    qtest prop_field_inter_semantics;
+    qtest prop_field_random_packet_matches;
+    qtest prop_field_subsumes;
+    Alcotest.test_case "field tcam expansion" `Quick test_field_tcam_expansion;
+  ]

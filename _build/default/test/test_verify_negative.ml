@@ -1,0 +1,121 @@
+(* The verifier must catch broken placements, not only bless good ones.
+   Each test corrupts a correct solution in one specific way and checks
+   the corresponding violation class fires. *)
+open Placement
+
+let solved_figure3 () =
+  let net = Topo.Builder.figure3 () in
+  let routing =
+    Routing.Table.of_paths
+      [
+        Routing.Path.make ~ingress:0 ~egress:1 ~switches:[ 0; 1; 2 ] ();
+        Routing.Path.make ~ingress:0 ~egress:2 ~switches:[ 0; 1; 3; 4 ] ();
+      ]
+  in
+  let policy =
+    Acl.Policy.of_fields
+      [
+        (Util.field ~src:"10.1.0.0/16" (), Acl.Rule.Permit);
+        (Util.field ~src:"10.0.0.0/8" (), Acl.Rule.Drop);
+      ]
+  in
+  let inst =
+    Instance.make ~net ~routing ~policies:[ (0, policy) ]
+      ~capacities:(Instance.uniform_capacity net 4)
+  in
+  let report = Solve.run inst in
+  (report.Solve.layout, Option.get report.Solve.solution)
+
+let drop_cells_at sol ~switch ~pred =
+  let per_switch = Array.copy sol.Solution.per_switch in
+  per_switch.(switch) <- List.filter (fun c -> not (pred c)) per_switch.(switch);
+  { sol with Solution.per_switch = per_switch }
+
+let add_cell sol ~switch cell =
+  let per_switch = Array.copy sol.Solution.per_switch in
+  per_switch.(switch) <- cell :: per_switch.(switch);
+  { sol with Solution.per_switch = per_switch }
+
+let has_violation pred violations = List.exists pred violations
+
+let test_missing_coverage_detected () =
+  let layout, sol = solved_figure3 () in
+  (* Remove every drop everywhere: coverage must fire. *)
+  let broken = ref sol in
+  for k = 0 to 4 do
+    broken :=
+      drop_cells_at !broken ~switch:k ~pred:(fun c ->
+          Acl.Rule.is_drop c.Solution.rule)
+  done;
+  let violations = Verify.structural layout !broken in
+  Alcotest.(check bool) "coverage violation" true
+    (has_violation (function Verify.Coverage _ -> true | _ -> false) violations)
+
+let test_missing_dependency_detected () =
+  let layout, sol = solved_figure3 () in
+  (* Strip the permit wherever it sits: installed drops lose their
+     dependency. *)
+  let broken = ref sol in
+  for k = 0 to 4 do
+    broken :=
+      drop_cells_at !broken ~switch:k ~pred:(fun c ->
+          Acl.Rule.is_permit c.Solution.rule)
+  done;
+  let violations = Verify.structural layout !broken in
+  Alcotest.(check bool) "dependency violation" true
+    (has_violation
+       (function Verify.Dependency _ -> true | _ -> false)
+       violations);
+  (* And it is a real packet-level bug, not just bookkeeping. *)
+  let semantic = Verify.semantic ~random_samples:30 (Prng.create 1) !broken in
+  Alcotest.(check bool) "semantic violation too" true (semantic <> [])
+
+let test_capacity_detected () =
+  let layout, sol = solved_figure3 () in
+  let filler i =
+    {
+      Solution.rule =
+        Acl.Rule.make ~field:Ternary.Field.any ~action:Acl.Rule.Permit
+          ~priority:(1000 + i);
+      tags = [ (0, 1000 + i) ];
+    }
+  in
+  let broken = ref sol in
+  for i = 1 to 6 do
+    broken := add_cell !broken ~switch:0 (filler i)
+  done;
+  let violations = Verify.structural layout !broken in
+  Alcotest.(check bool) "capacity violation" true
+    (has_violation (function Verify.Capacity _ -> true | _ -> false) violations)
+
+let test_rogue_drop_detected () =
+  (* A drop the policy never asked for kills permitted traffic: only the
+     semantic layer can see this. *)
+  let _, sol = solved_figure3 () in
+  let rogue =
+    {
+      Solution.rule =
+        Acl.Rule.make
+          ~field:(Util.field ~src:"10.1.0.0/16" ())
+          ~action:Acl.Rule.Drop ~priority:99;
+      tags = [ (0, 99) ];
+    }
+  in
+  let broken = add_cell sol ~switch:1 rogue in
+  let semantic = Verify.semantic ~random_samples:40 (Prng.create 2) broken in
+  Alcotest.(check bool) "rogue drop caught" true
+    (has_violation (function Verify.Semantic _ -> true | _ -> false) semantic)
+
+let test_clean_solution_passes () =
+  let layout, sol = solved_figure3 () in
+  Alcotest.(check int) "no violations" 0
+    (List.length (Verify.check (Prng.create 3) layout sol))
+
+let suite =
+  [
+    Alcotest.test_case "missing coverage detected" `Quick test_missing_coverage_detected;
+    Alcotest.test_case "missing dependency detected" `Quick test_missing_dependency_detected;
+    Alcotest.test_case "capacity overflow detected" `Quick test_capacity_detected;
+    Alcotest.test_case "rogue drop detected" `Quick test_rogue_drop_detected;
+    Alcotest.test_case "clean solution passes" `Quick test_clean_solution_passes;
+  ]
