@@ -1,0 +1,128 @@
+(* Experiment P1: the multicore solver portfolio vs the sequential ILP.
+
+   Each point is solved twice: once with the plain sequential branch and
+   bound, once with the portfolio engine racing the parallel branch and
+   bound (jobs-1 domains, deterministic subtree splitting, shared atomic
+   incumbent) against the SAT formulation (one domain) with
+   first-winner-cancels.  Reported: wall times, speedup, which entrant
+   won the race, and whether the objectives agree — the parallel path
+   must report the sequential optimum on every instance both prove.
+
+   The point set mixes the scalability suite (Figures 7/11 families,
+   whose hardness ranges from root-LP-trivial to search-heavy) with the
+   merge-enabled Table II band, where the paper's 10 s cap bites the
+   sequential solver hardest. *)
+
+type point = { label : string; family : Workload.family; merge : bool }
+
+let points ~quick =
+  let scal rules capacity =
+    {
+      label = Printf.sprintf "k4 r=%d C=%d" rules capacity;
+      family = { Workload.default with Workload.rules; capacity; paths = 64 };
+      merge = false;
+    }
+  in
+  let table2 mr capacity =
+    {
+      label = Printf.sprintf "merge mr=%d C=%d" mr capacity;
+      family =
+        {
+          Workload.default with
+          Workload.rules = 20;
+          mergeable = mr;
+          capacity;
+          paths = 48;
+          ingress_mode = Workload.Contiguous;
+        };
+      merge = true;
+    }
+  in
+  if quick then [ scal 20 100; scal 32 22; table2 6 26 ]
+  else
+    [
+      scal 20 100;
+      scal 26 18;
+      scal 32 22;
+      scal 38 100;
+      scal 44 24;
+      table2 2 22;
+      table2 6 26;
+      table2 10 26;
+      table2 10 30;
+    ]
+
+let objective_of (r : Placement.Solve.report) =
+  Option.map
+    (fun s -> s.Placement.Solution.objective)
+    r.Placement.Solve.solution
+
+let run ~title ~jobs ~seeds ~time_limit ~quick () =
+  let wins = ref 0 and total = ref 0 and disagreements = ref 0 in
+  let rows =
+    List.concat_map
+      (fun { label; family; merge } ->
+        List.map
+          (fun seed ->
+            let inst = Workload.build { family with Workload.seed } in
+            let seq_report, seq_t =
+              Harness.wall (fun () ->
+                  Placement.Solve.run
+                    ~options:(Harness.solve_options ~merge ~time_limit ())
+                    inst)
+            in
+            let par_report, par_t =
+              Harness.wall (fun () ->
+                  Placement.Solve.run
+                    ~options:
+                      (Placement.Solve.options ~merge
+                         ~engine:Placement.Solve.Portfolio_engine ~jobs
+                         ~ilp_config:
+                           { Ilp.Solver.default_config with time_limit }
+                         ())
+                    inst)
+            in
+            incr total;
+            if par_t <= 0.8 *. seq_t then incr wins;
+            let agree =
+              (* Objectives must match whenever both runs prove their
+                 answer; limit-hit incumbents are incomparable. *)
+              match
+                ( seq_report.Placement.Solve.status,
+                  par_report.Placement.Solve.status )
+              with
+              | `Optimal, `Optimal ->
+                let a = Option.get (objective_of seq_report)
+                and b = Option.get (objective_of par_report) in
+                if Float.abs (a -. b) < 1e-6 then "yes" else "NO"
+              | `Infeasible, `Infeasible -> "yes"
+              | (`Feasible | `Unknown), _ | _, (`Feasible | `Unknown) -> "-"
+              | _ -> "NO"
+            in
+            if agree = "NO" then incr disagreements;
+            [
+              Printf.sprintf "%s s%d" label seed;
+              Printf.sprintf "%s (%s)" (Harness.sec seq_t)
+                (Harness.status_short seq_report.Placement.Solve.status);
+              Printf.sprintf "%s (%s%s)" (Harness.sec par_t)
+                (Harness.status_short par_report.Placement.Solve.status)
+                (match par_report.Placement.Solve.winner with
+                | Some w -> "," ^ w
+                | None -> "");
+              Printf.sprintf "%.2fx" (seq_t /. Float.max par_t 1e-9);
+              agree;
+            ])
+          seeds)
+      (points ~quick)
+  in
+  Harness.print_table ~title
+    ~headers:[ "point"; "seq ILP s"; "portfolio s"; "speedup"; "agree" ]
+    rows;
+  let cores = Domain.recommended_domain_count () in
+  if cores < jobs then
+    Printf.printf
+      "note: %d hardware core(s) < %d jobs — the race timeshares one CPU, \
+       so wall-clock speedup is not expected here\n"
+      cores jobs;
+  Printf.printf "portfolio <= 0.8x sequential on %d/%d points; %d objective disagreements\n"
+    !wins !total !disagreements

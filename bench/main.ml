@@ -3,16 +3,20 @@
    comparison, the baseline comparison and the design ablations, then a
    Bechamel micro-benchmark with one timing probe per table/figure.
 
-   Usage: dune exec bench/main.exe -- [--quick] [--no-micro]
+   Usage: dune exec bench/main.exe -- [--quick] [--smoke] [--no-micro]
+                                      [--jobs N]
                                       [--only fig7|fig8|fig9|fig10|fig11|
-                                              table2|exp5|s1|b1|ablations] *)
+                                              table2|exp5|s1|b1|ablations|
+                                              portfolio] *)
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
+let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
-let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
+
+let no_micro = smoke || Array.exists (( = ) "--no-micro") Sys.argv
 
 (* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
-   table2 exp5 s1 b1 ablations); repeatable. *)
+   table2 exp5 s1 b1 ablations portfolio); repeatable. *)
 let only =
   let rec collect i acc =
     if i >= Array.length Sys.argv then acc
@@ -22,13 +26,29 @@ let only =
   in
   collect 1 []
 
+(* --smoke: the CI perf canary — one tiny point per experiment family so
+   a regression fails loudly without burning minutes. *)
+let only = if smoke && only = [] then [ "fig7"; "s1"; "portfolio" ] else only
+
 let wants name = only = [] || List.mem name only
+
+let jobs =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then 4
+    else if Sys.argv.(i) = "--jobs" then
+      Option.value (int_of_string_opt Sys.argv.(i + 1)) ~default:4
+    else find (i + 1)
+  in
+  find 1
 
 let seeds = if quick then [ 1 ] else [ 1; 2 ]
 
-let time_limit = if quick then 5.0 else 10.0
+let time_limit = if smoke then 2.0 else if quick then 5.0 else 10.0
 
-let rules_sweep = if quick then [ 8; 20; 32; 44 ] else [ 8; 14; 20; 26; 32; 38; 44 ]
+let rules_sweep =
+  if smoke then [ 8; 20 ]
+  else if quick then [ 8; 20; 32; 44 ]
+  else [ 8; 14; 20; 26; 32; 38; 44 ]
 
 let run_experiments () =
   Printf.printf
@@ -87,6 +107,15 @@ let run_experiments () =
     ~k:4 ~paths:32 ~caps:(16, 60)
     ~rules_sweep:[ 8; 20; 32 ]
     ~time_limit ();
+
+  if wants "portfolio" then
+    Exp_portfolio.run
+      ~title:
+        (Printf.sprintf
+           "Experiment P1: solver portfolio (parallel B&B || SAT racing, \
+            jobs=%d) vs sequential ILP"
+           jobs)
+      ~jobs ~seeds ~time_limit ~quick ();
 
   if wants "b1" then
   Exp_baseline.run

@@ -57,8 +57,38 @@ let time_limit_arg =
     value & opt float 60.0
     & info [ "time-limit" ] ~docv:"SECONDS" ~doc:"ILP solver time limit.")
 
-let options_of merge slice engine objective time_limit =
-  Placement.Solve.options ~merge ~slice ~engine
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains for the parallel engines (default 1 = sequential; 0 \
+           means one per recommended core).")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt (some (enum [ ("portfolio", `Portfolio); ("ilp", `Ilp); ("sat", `Sat); ("auto", `Auto) ]))
+        None
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Solving strategy (overrides $(b,--engine)): $(b,portfolio) races \
+           the parallel ILP against the SAT formulation with \
+           first-winner-cancels, $(b,ilp) is the branch & bound (parallel \
+           when $(b,--jobs) > 1), $(b,sat) the optimizing SAT descent, and \
+           $(b,auto) picks from the instance's constrainedness.")
+
+let options_of merge slice engine objective time_limit jobs strategy =
+  let engine =
+    match strategy with
+    | Some `Portfolio -> Placement.Solve.Portfolio_engine
+    | Some `Ilp -> Placement.Solve.Ilp_engine
+    | Some `Sat -> Placement.Solve.Sat_opt_engine
+    | Some `Auto -> Placement.Solve.Auto_engine
+    | None -> engine
+  in
+  let jobs = if jobs <= 0 then Portfolio.default_jobs () else jobs in
+  Placement.Solve.options ~merge ~slice ~engine ~jobs
     ~objective:
       (match objective with
       | `Total -> Placement.Encode.Total_rules
@@ -181,9 +211,10 @@ let print_solution (sol : Placement.Solution.t) =
       end)
     sol.Placement.Solution.per_switch
 
-let solve_run file merge slice engine objective time_limit show_tables =
+let solve_run file merge slice engine objective time_limit jobs strategy
+    show_tables =
   let inst = Placement.Spec.load file in
-  let options = options_of merge slice engine objective time_limit in
+  let options = options_of merge slice engine objective time_limit jobs strategy in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
   (match report.Placement.Solve.ilp_stats with
@@ -210,7 +241,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Place the rules and print the result.")
     Term.(
       const solve_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
-      $ objective_arg $ time_limit_arg $ tables_flag)
+      $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ tables_flag)
 
 (* ---------------- balance ---------------- *)
 
@@ -247,9 +278,10 @@ let balance_cmd =
 
 (* ---------------- verify ---------------- *)
 
-let verify_run file merge slice engine objective time_limit samples =
+let verify_run file merge slice engine objective time_limit jobs strategy
+    samples =
   let inst = Placement.Spec.load file in
-  let options = options_of merge slice engine objective time_limit in
+  let options = options_of merge slice engine objective time_limit jobs strategy in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
   match report.Placement.Solve.solution with
@@ -291,7 +323,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Solve and verify the placement end to end.")
     Term.(
       const verify_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
-      $ objective_arg $ time_limit_arg $ samples)
+      $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ samples)
 
 let main_cmd =
   Cmd.group

@@ -395,7 +395,7 @@ let luby i =
   in
   t (i + 1)
 
-let solve ?(conflict_limit = max_int) s =
+let solve ?(conflict_limit = max_int) ?(cancel = fun () -> false) s =
   if s.root_unsat then Unsat
   else begin
     cancel_until s 0;
@@ -424,7 +424,14 @@ let solve ?(conflict_limit = max_int) s =
             (fun l -> if lit_value s l = -1 then enqueue s (l lxor 1) None)
             a.alits)
       s.ams;
+    let ticks = ref 0 in
     while not !finished do
+      incr ticks;
+      if !ticks land 63 = 0 && cancel () then begin
+        result := Unknown;
+        finished := true
+      end
+      else
       match propagate s with
       | Some confl ->
         if decision_level s = 0 then begin

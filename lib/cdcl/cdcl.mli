@@ -41,9 +41,12 @@ val add_at_most : t -> int list -> int -> unit
 val add_at_least : t -> int list -> int -> unit
 (** At least [k] of [lits] true (dual of {!add_at_most}). *)
 
-val solve : ?conflict_limit:int -> t -> result
+val solve : ?conflict_limit:int -> ?cancel:(unit -> bool) -> t -> result
 (** Decides the accumulated formula.  The solver may be re-solved after
-    adding further constraints (it restarts from the root level). *)
+    adding further constraints (it restarts from the root level).
+    [cancel] is polled every 64 search-loop iterations; once it returns
+    true the search stops cooperatively with [Unknown] — the hook that
+    lets a solver portfolio cancel a losing SAT run. *)
 
 val num_conflicts : t -> int
 (** Total conflicts across all [solve] calls (search-effort metric

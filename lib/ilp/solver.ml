@@ -89,6 +89,13 @@ type state = {
   used_stamp : int array;  (* scratch for the cover bound *)
   mutable stamp : int;
   mutable best : solution option;
+  (* Best objective known globally.  In a sequential solve this mirrors
+     [best]; in a parallel solve every worker shares one atomic so
+     pruning stays globally effective.  The cutoff is strict, so sharing
+     never prunes a strictly better solution — the parallel optimum is
+     the sequential optimum. *)
+  mutable shared_obj : float Atomic.t;
+  mutable cancel : unit -> bool;  (* cooperative cancellation, polled in [dfs] *)
   mutable nodes : int;
   mutable lp_calls : int;
   mutable stopped : bool;
@@ -186,6 +193,8 @@ let build_state model =
     used_stamp = Array.make n 0;
     stamp = 0;
     best = None;
+    shared_obj = Atomic.make infinity;
+    cancel = (fun () -> false);
     nodes = 0;
     lp_calls = 0;
     stopped = false;
@@ -426,24 +435,39 @@ let pick_branch st =
 exception Stop
 
 let cutoff st =
-  match st.best with
-  | None -> infinity
-  | Some b -> if st.all_int then b.objective -. 0.5 else b.objective -. 1e-9
+  let b = Atomic.get st.shared_obj in
+  if b = infinity then infinity
+  else if st.all_int then b -. 0.5
+  else b -. 1e-9
+
+(* Publish an objective into the shared bound (monotone min via CAS). *)
+let rec publish shared objective =
+  let cur = Atomic.get shared in
+  if objective < cur -. 1e-9 then
+    if not (Atomic.compare_and_set shared cur objective) then
+      publish shared objective
+
+let set_best st values objective =
+  st.best <- Some { values; objective };
+  publish st.shared_obj objective
 
 let record_incumbent st =
   let objective = st.obj_fixed in
   let improved =
     match st.best with None -> true | Some b -> objective < b.objective -. 1e-9
   in
-  if improved then
-    st.best <-
-      Some { values = Array.map (fun v -> v = 1) st.value; objective };
-  (* The search proved a matching lower bound at the root: stop early. *)
-  if objective <= st.root_bound +. eps then raise Stop
+  if improved then begin
+    set_best st (Array.map (fun v -> v = 1) st.value) objective;
+    (* The search proved a matching lower bound at the root: stop early. *)
+    if objective <= st.root_bound +. eps then raise Stop
+  end
 
 let rec dfs st cfg ~start ~depth =
   st.nodes <- st.nodes + 1;
-  if st.nodes land 255 = 0 && Sys.time () -. start > cfg.time_limit then begin
+  if
+    st.nodes land 255 = 0
+    && (Sys.time () -. start > cfg.time_limit || st.cancel ())
+  then begin
     st.stopped <- true;
     raise Stop
   end;
@@ -478,24 +502,19 @@ let rec dfs st cfg ~start ~depth =
         try_value (1 - first)
   end
 
-let solve ?(config = default_config) ?warm_start model =
-  let start = Sys.time () in
+(* Root work shared by the sequential and parallel drivers: warm start,
+   root propagation, root LP (with the integral-hint incumbent).
+   Returns the prepared state plus [`Settled outcome] when the root
+   already decides the instance, [`Open] otherwise. *)
+let prepare ~config ~cancel ?warm_start model =
   let st = build_state model in
+  st.cancel <- cancel;
   (match warm_start with
   | Some values
     when Array.length values = st.n && check_feasible model values ->
-    st.best <- Some { values = Array.copy values; objective = objective_value model values }
+    set_best st (Array.copy values) (objective_value model values)
   | _ -> ());
-  let finish outcome =
-    ( outcome,
-      {
-        nodes = st.nodes;
-        lp_calls = st.lp_calls;
-        elapsed = Sys.time () -. start;
-        root_bound = st.root_bound;
-      } )
-  in
-  if not (propagate_root st) then finish Infeasible
+  if not (propagate_root st) then (st, `Settled Infeasible)
   else begin
     let root_ok = ref true in
     (if config.lp_root then
@@ -522,25 +541,199 @@ let solve ?(config = default_config) ?warm_start model =
                  | None -> true
                  | Some b -> objective < b.objective -. 1e-9
                in
-               if better then st.best <- Some { values; objective }
+               if better then set_best st values objective
            end
          | None -> ())
        | None -> ());
-    if not !root_ok then finish Infeasible
-    else begin
-      let proven =
-        match st.best with
-        | Some b when b.objective <= st.root_bound +. eps -> true
-        | _ -> false
-      in
-      if proven then finish (Optimal (Option.get st.best))
+    if not !root_ok then (st, `Settled Infeasible)
+    else
+      match st.best with
+      | Some b when b.objective <= st.root_bound +. eps ->
+        (st, `Settled (Optimal b))
+      | _ -> (st, `Open)
+  end
+
+let solve ?(config = default_config) ?(cancel = fun () -> false) ?warm_start
+    model =
+  let start = Sys.time () in
+  let st, root = prepare ~config ~cancel ?warm_start model in
+  let finish outcome =
+    ( outcome,
+      {
+        nodes = st.nodes;
+        lp_calls = st.lp_calls;
+        elapsed = Sys.time () -. start;
+        root_bound = st.root_bound;
+      } )
+  in
+  match root with
+  | `Settled outcome -> finish outcome
+  | `Open ->
+    (try dfs st config ~start ~depth:0 with Stop -> ());
+    (match (st.stopped, st.best) with
+    | false, Some b -> finish (Optimal b)
+    | false, None -> finish Infeasible
+    | true, Some b -> finish (Feasible b)
+    | true, None -> finish Unknown)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel branch and bound over OCaml domains                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay a decision prefix (assign + propagate after each decision,
+   mirroring [try_value]).  Returns false when the prefix conflicts. *)
+let replay st prefix =
+  Array.for_all
+    (fun (v, b) ->
+      if st.value.(v) >= 0 then st.value.(v) = b
       else begin
-        (try dfs st config ~start ~depth:0 with Stop -> ());
-        match (st.stopped, st.best) with
-        | false, Some b -> finish (Optimal b)
-        | false, None -> finish Infeasible
-        | true, Some b -> finish (Feasible b)
-        | true, None -> finish Unknown
+        let mark = st.trail_len in
+        assign st v b;
+        propagate st mark
+      end)
+    prefix
+
+(* Deterministic work splitting: breadth-first expansion of the top of
+   the search tree (same propagation, bounding and branching rules as
+   [dfs], so the frontier depends only on the instance — never on
+   timing).  Leaves met while splitting are recorded as incumbents,
+   which may raise [Stop] when one matches the root bound. *)
+let split_frontier st ~target =
+  let q = Queue.create () in
+  Queue.add [] q;
+  let expansions = ref 0 in
+  let budget = 64 * target in
+  while
+    (not (Queue.is_empty q))
+    && Queue.length q < target
+    && !expansions < budget
+  do
+    let prefix = Queue.pop q in
+    incr expansions;
+    st.nodes <- st.nodes + 1;
+    let mark = st.trail_len in
+    (if replay st (Array.of_list prefix) then begin
+       let lb = bound st in
+       let lb = if st.all_int then Float.round (Float.ceil (lb -. eps)) else lb in
+       if lb < cutoff st then
+         match pick_branch st with
+         | None -> record_incumbent st
+         | Some (v, first) ->
+           Queue.add (prefix @ [ (v, first) ]) q;
+           Queue.add (prefix @ [ (v, 1 - first) ]) q
+     end);
+    undo_to st mark
+  done;
+  q |> Queue.to_seq |> Seq.map Array.of_list |> Array.of_seq
+
+let solve_parallel ?(config = default_config) ?(jobs = 1)
+    ?(cancel = fun () -> false) ?warm_start model =
+  if jobs <= 1 then solve ~config ~cancel ?warm_start model
+  else begin
+    let wall0 = Unix.gettimeofday () in
+    let st, root = prepare ~config ~cancel ?warm_start model in
+    let finish ?(extra_nodes = 0) ?(extra_lp = 0) outcome =
+      ( outcome,
+        {
+          nodes = st.nodes + extra_nodes;
+          lp_calls = st.lp_calls + extra_lp;
+          elapsed = Unix.gettimeofday () -. wall0;
+          root_bound = st.root_bound;
+        } )
+    in
+    match root with
+    | `Settled outcome -> finish outcome
+    | `Open ->
+      let proven = Atomic.make false in
+      let prefixes =
+        try split_frontier st ~target:(4 * jobs)
+        with Stop ->
+          Atomic.set proven true;
+          [||]
+      in
+      if Atomic.get proven then finish (Optimal (Option.get st.best))
+      else if Array.length prefixes = 0 then
+        (* The splitting pass exhausted the whole tree. *)
+        (match st.best with
+        | Some b -> finish (Optimal b)
+        | None -> finish Infeasible)
+      else begin
+        (* The parallel driver budgets wall-clock time: [Sys.time]
+           counts CPU seconds across every domain, which would charge a
+           j-way search j times faster than the work it performs. *)
+        let deadline = wall0 +. config.time_limit in
+        let next = Atomic.make 0 in
+        let worker_cancel () =
+          cancel () || Atomic.get proven || Unix.gettimeofday () > deadline
+        in
+        let cfg = { config with time_limit = infinity; lp_root = false } in
+        let work () =
+          let w = build_state model in
+          w.shared_obj <- st.shared_obj;
+          w.root_bound <- st.root_bound;
+          w.cancel <- worker_cancel;
+          if not (propagate_root w) then (None, 0, 0, false)
+          else begin
+            let base = w.trail_len in
+            let continue_ = ref true in
+            while !continue_ do
+              let i = Atomic.fetch_and_add next 1 in
+              if i >= Array.length prefixes then continue_ := false
+              else if w.stopped || worker_cancel () then begin
+                (* Work remains but this worker must stop: without the
+                   [stopped] mark a cancelled run with an empty incumbent
+                   would be misread as a completed (Infeasible) search.
+                   Stopping because the optimum was proven is fine — the
+                   outcome logic discounts [stopped] under [proven]. *)
+                w.stopped <- true;
+                continue_ := false
+              end
+              else begin
+                (if replay w prefixes.(i) then
+                   (* Depth restarts at 0 so the worker gets LP bounds at
+                      the top of its subtree, like the sequential search
+                      does under the root (LP bounds hold at any node). *)
+                   try dfs w cfg ~start:(Sys.time ()) ~depth:0
+                   with Stop ->
+                     (* [Stop] without [stopped]: an incumbent matched
+                        the root bound — globally optimal, cancel all. *)
+                     if not w.stopped then Atomic.set proven true);
+                undo_to w base
+              end
+            done;
+            (w.best, w.nodes, w.lp_calls, w.stopped)
+          end
+        in
+        let others = Array.init (jobs - 1) (fun _ -> Domain.spawn work) in
+        let mine = work () in
+        let results = mine :: Array.to_list (Array.map Domain.join others) in
+        let best =
+          List.fold_left
+            (fun acc (b, _, _, _) ->
+              match (acc, b) with
+              | None, b -> b
+              | Some a, Some b when b.objective < a.objective -. 1e-9 ->
+                Some b
+              | acc, _ -> acc)
+            st.best results
+        in
+        let extra_nodes =
+          List.fold_left (fun acc (_, n, _, _) -> acc + n) 0 results
+        in
+        let extra_lp =
+          List.fold_left (fun acc (_, _, l, _) -> acc + l) 0 results
+        in
+        let stopped =
+          List.exists (fun (_, _, _, s) -> s) results
+          && not (Atomic.get proven)
+        in
+        let outcome =
+          match (stopped, best) with
+          | false, Some b -> Optimal b
+          | false, None -> Infeasible
+          | true, Some b -> Feasible b
+          | true, None -> Unknown
+        in
+        finish ~extra_nodes ~extra_lp outcome
       end
-    end
   end

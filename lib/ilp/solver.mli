@@ -47,9 +47,38 @@ type stats = {
   root_bound : float;  (** best lower bound proven at the root *)
 }
 
-val solve : ?config:config -> ?warm_start:bool array -> Model.t -> outcome * stats
+val solve :
+  ?config:config ->
+  ?cancel:(unit -> bool) ->
+  ?warm_start:bool array ->
+  Model.t ->
+  outcome * stats
 (** [warm_start] seeds the incumbent if it satisfies every constraint
-    (silently ignored otherwise). *)
+    (silently ignored otherwise).  [cancel] is polled every 256 nodes;
+    once it returns true the search stops cooperatively and reports its
+    best incumbent ([Feasible]) or [Unknown] — the hook that lets a
+    solver portfolio race this solver and cancel the loser. *)
+
+val solve_parallel :
+  ?config:config ->
+  ?jobs:int ->
+  ?cancel:(unit -> bool) ->
+  ?warm_start:bool array ->
+  Model.t ->
+  outcome * stats
+(** Branch and bound fanned out over [jobs] OCaml domains ([jobs <= 1]
+    is exactly {!solve}).  The root (propagation + LP) is solved once;
+    the top of the tree is then split breadth-first into at least
+    [4*jobs] subtrees by the {e same} deterministic propagation,
+    bounding and branching rules as the sequential search, and a
+    fixed-size domain pool drains that frontier, sharing the incumbent
+    objective through an [Atomic] so pruning stays globally effective.
+    The strict cutoff never prunes a strictly better solution, so the
+    returned objective is identical to the sequential one ([Optimal] /
+    [Infeasible] agree exactly; only tie-broken solution {e values} may
+    differ).  [config.time_limit] is interpreted as wall-clock seconds
+    here (CPU seconds would charge a [jobs]-way search [jobs] times
+    faster). *)
 
 val check_feasible : Model.t -> bool array -> bool
 (** Exact 0-1 feasibility check of an assignment against every row. *)

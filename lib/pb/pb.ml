@@ -69,6 +69,6 @@ let and_eq t v lits =
 
 let implies t a b = add_clause t [ -a; b ]
 
-let solve ?conflict_limit t = Cdcl.solve ?conflict_limit t.solver
+let solve ?conflict_limit ?cancel t = Cdcl.solve ?conflict_limit ?cancel t.solver
 
 let num_conflicts t = Cdcl.num_conflicts t.solver

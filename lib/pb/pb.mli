@@ -49,7 +49,9 @@ val and_eq : t -> int -> int list -> unit
 val implies : t -> int -> int -> unit
 (** [implies t a b] asserts [a -> b] (Eq. 6 shape). *)
 
-val solve : ?conflict_limit:int -> t -> Cdcl.result
-(** The model array covers problem variables first, then auxiliaries. *)
+val solve : ?conflict_limit:int -> ?cancel:(unit -> bool) -> t -> Cdcl.result
+(** The model array covers problem variables first, then auxiliaries.
+    [cancel] stops the underlying CDCL search cooperatively (see
+    {!Cdcl.solve}). *)
 
 val num_conflicts : t -> int

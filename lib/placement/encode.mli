@@ -38,10 +38,15 @@ val to_model : ?objective:objective -> Layout.t -> Ilp.Model.t * Ilp.Model.var a
 val solve :
   ?objective:objective ->
   ?config:Ilp.Solver.config ->
+  ?jobs:int ->
+  ?cancel:(unit -> bool) ->
   ?warm_start:bool array ->
   Layout.t ->
   result
-(** [warm_start] is indexed by layout variables. *)
+(** [warm_start] is indexed by layout variables.  [jobs > 1] runs the
+    branch and bound on {!Ilp.Solver.solve_parallel} over that many
+    domains (same objective value, wall-clock time limit); [cancel]
+    stops the search cooperatively. *)
 
 val assignment_objective : ?objective:objective -> Layout.t -> bool array -> float
 (** Objective value of an arbitrary layout assignment (used to score

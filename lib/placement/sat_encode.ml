@@ -50,9 +50,9 @@ let to_pb ?encoding (layout : Layout.t) =
     layout.Layout.capacities;
   (pb, vars)
 
-let solve ?encoding ?conflict_limit (layout : Layout.t) =
+let solve ?encoding ?conflict_limit ?cancel (layout : Layout.t) =
   let pb, vars = to_pb ?encoding layout in
-  match Pb.solve ?conflict_limit pb with
+  match Pb.solve ?conflict_limit ?cancel pb with
   | Cdcl.Sat model ->
     let assignment = Array.map (fun v -> model.(v - 1)) vars in
     let objective =
@@ -93,7 +93,8 @@ type opt_result = {
   iterations : int;
 }
 
-let minimize ?(conflict_limit = 2_000_000) (layout : Layout.t) =
+let minimize ?(conflict_limit = 2_000_000) ?(cancel = fun () -> false)
+    (layout : Layout.t) =
   let pb, vars = to_pb layout in
   (* Counting literals: one per prospective entry.  Grouped members are
      counted through w = v && not v_m so an active merge costs exactly
@@ -153,9 +154,10 @@ let minimize ?(conflict_limit = 2_000_000) (layout : Layout.t) =
   | None -> ());
   let rec descend iterations =
     let remaining = conflict_limit - Pb.num_conflicts pb in
-    if remaining <= 0 then (`Feasible, !best, iterations)
+    if remaining <= 0 || cancel () then
+      ((match !best with Some _ -> `Feasible | None -> `Unknown), !best, iterations)
     else
-      match Pb.solve ~conflict_limit:remaining pb with
+      match Pb.solve ~conflict_limit:remaining ~cancel pb with
       | Cdcl.Sat model ->
         let c = count_true model in
         best := Some (decode model);

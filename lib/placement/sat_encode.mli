@@ -28,7 +28,14 @@ type result = {
 val to_pb : ?encoding:Pb.encoding -> Layout.t -> Pb.t * int array
 (** The formula plus the layout-index -> DIMACS-variable mapping. *)
 
-val solve : ?encoding:Pb.encoding -> ?conflict_limit:int -> Layout.t -> result
+val solve :
+  ?encoding:Pb.encoding ->
+  ?conflict_limit:int ->
+  ?cancel:(unit -> bool) ->
+  Layout.t ->
+  result
+(** [cancel] stops the CDCL search cooperatively ([`Unknown]) — used by
+    the solver portfolio to cancel a losing run. *)
 
 type opt_result = {
   opt_status : [ `Optimal | `Feasible | `Unsat | `Unknown ];
@@ -37,7 +44,8 @@ type opt_result = {
   iterations : int;  (** SAT calls made by the descent *)
 }
 
-val minimize : ?conflict_limit:int -> Layout.t -> opt_result
+val minimize :
+  ?conflict_limit:int -> ?cancel:(unit -> bool) -> Layout.t -> opt_result
 (** SAT-based minimization of the installed-entry count: one counting
     literal per prospective TCAM entry (plain placements, merged entries,
     and unmerged group members via [w = v && not v_m] auxiliaries), then

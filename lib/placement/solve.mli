@@ -2,20 +2,39 @@
 
     Stages: optional redundancy removal on every policy; optional merge
     planning (group discovery + cycle breaking); layout construction
-    (dependency graph, path slicing); then either the ILP engine
-    (optimizing) or the SAT engine (feasibility only), greedily
-    warm-started when possible; finally decoding into a {!Solution}.
+    (dependency graph, path slicing); then one of the solving engines,
+    greedily warm-started when possible; finally decoding into a
+    {!Solution}.
+
+    The {b portfolio} engine is the multicore path: it races the ILP
+    branch and bound (itself fanned out over a domain pool, see
+    {!Ilp.Solver.solve_parallel}) against the SAT formulation on
+    separate OCaml domains with first-winner-cancels semantics — the
+    paper observes that which formulation wins depends on how over- or
+    under-constrained the instance is, so racing both gets the best of
+    each regime.  Objective values are identical to the sequential ILP
+    on every instance both prove.
 
     All stage timings are reported so the scalability experiments can
     attribute cost. *)
 
 type engine =
-  | Ilp_engine  (** optimizing branch & bound (default) *)
+  | Ilp_engine  (** optimizing branch & bound (default); honours [jobs] *)
   | Sat_engine  (** feasibility only, fastest *)
   | Sat_opt_engine
       (** optimizing via incremental SAT cardinality descent
           ({!Sat_encode.minimize}) — an independent cross-check of the
           ILP optimum *)
+  | Portfolio_engine
+      (** race ILP (on [jobs - 1] domains) against SAT (one domain),
+          first definitive answer cancels the loser; [jobs <= 1]
+          degrades to [Ilp_engine] *)
+  | Auto_engine
+      (** pick an engine from the instance: multicore ([jobs > 1]) goes
+          to the portfolio; sequentially, over-constrained instances
+          probe the SAT side under a conflict budget (falling back to
+          the ILP when the probe proves nothing), the rest go straight
+          to the ILP *)
 
 type options = {
   redundancy : bool;  (** default true *)
@@ -29,6 +48,10 @@ type options = {
   ilp_config : Ilp.Solver.config;
   sat_conflict_limit : int option;
   greedy_warm_start : bool;  (** default true *)
+  jobs : int;
+      (** total domains for the parallel engines (default 1 =
+          sequential); see {!Portfolio.default_jobs} for a hardware
+          default *)
 }
 
 val default_options : options
@@ -43,6 +66,7 @@ val options :
   ?ilp_config:Ilp.Solver.config ->
   ?sat_conflict_limit:int ->
   ?greedy_warm_start:bool ->
+  ?jobs:int ->
   unit ->
   options
 
@@ -65,8 +89,15 @@ type report = {
   removed_rules : int;  (** by redundancy removal *)
   ilp_stats : Ilp.Solver.stats option;
   sat_conflicts : int option;
+  winner : string option;
+      (** which portfolio entrant produced the answer (["ilp"] /
+          ["sat"]); [None] outside the portfolio engine *)
   timing : timing;
 }
+
+val tightness : Layout.t -> float
+(** Placement demand (covering rows) over capacity supply — the
+    constrainedness signal [Auto_engine] switches on. *)
 
 val run : ?options:options -> Instance.t -> report
 

@@ -1,0 +1,52 @@
+module Cancel = struct
+  type t = bool Atomic.t
+
+  let create () = Atomic.make false
+
+  let fire t = Atomic.set t true
+
+  let fired t = Atomic.get t
+
+  let hook t () = Atomic.get t
+end
+
+type 'a entrant = { name : string; run : cancel:(unit -> bool) -> 'a }
+
+type 'a finish = {
+  from : string;
+  result : 'a;
+  definitive : bool;
+  wall_s : float;
+}
+
+let race ~definitive entrants =
+  match entrants with
+  | [] -> []
+  | first :: rest ->
+    let token = Cancel.create () in
+    let run e =
+      let t0 = Unix.gettimeofday () in
+      match e.run ~cancel:(Cancel.hook token) with
+      | result ->
+        let d = definitive result in
+        if d then Cancel.fire token;
+        Ok
+          {
+            from = e.name;
+            result;
+            definitive = d;
+            wall_s = Unix.gettimeofday () -. t0;
+          }
+      | exception exn ->
+        (* Unblock the other entrants before reporting the failure. *)
+        Cancel.fire token;
+        Error exn
+    in
+    let others = List.map (fun e -> Domain.spawn (fun () -> run e)) rest in
+    let mine = run first in
+    let finishes = mine :: List.map Domain.join others in
+    List.map
+      (function Ok f -> f | Error exn -> raise exn)
+      finishes
+
+let default_jobs () = Domain.recommended_domain_count ()

@@ -1,0 +1,58 @@
+(** Domains-based parallel solving layer: first-winner-cancels racing.
+
+    The paper solves the same placement instance two ways — an exact ILP
+    and a satisfiability formulation — and which one wins depends on how
+    over- or under-constrained the instance is (Sections IV-D and V).
+    This module provides the generic machinery to exploit that regime
+    split on multicore hardware: a shared atomic cancellation token and
+    a combinator that races several solver entrants on their own OCaml
+    domains, firing the token as soon as one of them produces a
+    {e definitive} answer so the losers stop cooperatively.
+
+    The entrants themselves poll the token through the [cancel] hooks
+    threaded into {!Ilp.Solver.solve}, {!Cdcl.solve} and friends; this
+    layer never kills a domain — every domain is joined before [race]
+    returns, so none can leak. *)
+
+(** Shared cancellation token: a single atomic flag, safe to poll from
+    any domain at any rate. *)
+module Cancel : sig
+  type t
+
+  val create : unit -> t
+
+  val fire : t -> unit
+  (** Idempotent; all subsequent {!fired} / hook calls return true. *)
+
+  val fired : t -> bool
+
+  val hook : t -> unit -> bool
+  (** The token as a [cancel] closure for the solver APIs. *)
+end
+
+type 'a entrant = {
+  name : string;
+  run : cancel:(unit -> bool) -> 'a;
+      (** must poll [cancel] and return promptly once it fires *)
+}
+
+type 'a finish = {
+  from : string;  (** the entrant's [name] *)
+  result : 'a;
+  definitive : bool;  (** this result settled the race *)
+  wall_s : float;  (** entrant wall-clock time *)
+}
+
+val race : definitive:('a -> bool) -> 'a entrant list -> 'a finish list
+(** Runs every entrant concurrently — the first on the calling domain,
+    the rest on freshly spawned ones — and returns all finishes in
+    entrant order.  The first entrant whose result satisfies
+    [definitive] fires the shared token; the others observe it through
+    their [cancel] hook and return early (their partial results are
+    still reported).  Every spawned domain is joined before returning;
+    if an entrant raises, the token is fired, the remaining domains are
+    joined, and the first exception is re-raised. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the portfolio-wide default
+    for [--jobs]. *)

@@ -25,5 +25,6 @@ let () =
       ("workload", Test_workload.suite);
       ("verify-negative", Test_verify_negative.suite);
       ("sat-opt", Test_sat_opt.suite);
+      ("portfolio", Test_portfolio.suite);
       ("properties", Test_properties.suite);
     ]

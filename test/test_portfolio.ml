@@ -1,0 +1,237 @@
+(* The multicore solving layer: the parallel branch and bound must
+   reproduce the sequential answer exactly, cancellation must stop every
+   solver promptly without leaking domains, and [jobs = 1] must degrade
+   to the plain sequential search. *)
+open Placement
+
+let options ?(engine = Solve.Ilp_engine) ?(jobs = 1) () =
+  Solve.options ~engine ~jobs
+    ~ilp_config:{ Ilp.Solver.default_config with time_limit = 30.0 }
+    ()
+
+let objective (r : Solve.report) =
+  match r.Solve.solution with
+  | Some s -> s.Solution.objective
+  | None -> Alcotest.fail "optimal report without solution"
+
+(* Parallel B&B determinism: on every instance both runs prove, the
+   status and the objective value must coincide — the strict shared
+   cutoff never prunes a strictly better solution. *)
+let test_parallel_matches_sequential () =
+  let g = Prng.create 2024 in
+  let proved = ref 0 in
+  for i = 1 to 22 do
+    let inst = Util.random_instance g in
+    let seq = Solve.run ~options:(options ()) inst in
+    let par = Solve.run ~options:(options ~jobs:4 ()) inst in
+    Alcotest.(check bool)
+      (Printf.sprintf "case %d: same status" i)
+      true
+      (seq.Solve.status = par.Solve.status);
+    match seq.Solve.status with
+    | `Optimal ->
+      incr proved;
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "case %d: same optimum" i)
+        (objective seq) (objective par)
+    | `Infeasible -> incr proved
+    | `Feasible | `Unknown -> ()
+  done;
+  Alcotest.(check bool) "proved most cases" true (!proved >= 15)
+
+(* The portfolio race (ILP domains vs SAT domain) settles to the same
+   answer as the sequential ILP and reports which entrant won. *)
+let test_portfolio_matches_sequential () =
+  let g = Prng.create 77 in
+  let compared = ref 0 in
+  for i = 1 to 8 do
+    let inst = Util.random_instance ~max_rules:8 g in
+    let seq = Solve.run ~options:(options ()) inst in
+    let race =
+      Solve.run ~options:(options ~engine:Solve.Portfolio_engine ~jobs:3 ()) inst
+    in
+    match (seq.Solve.status, race.Solve.status) with
+    | `Optimal, `Optimal ->
+      incr compared;
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: winner reported" i)
+        true (race.Solve.winner <> None);
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "case %d: race optimum" i)
+        (objective seq) (objective race)
+    | `Infeasible, `Infeasible -> incr compared
+    | s, r when s = r -> ()
+    | _ ->
+      Alcotest.failf "case %d: sequential and portfolio statuses differ" i
+  done;
+  Alcotest.(check bool) "compared several races" true (!compared >= 5)
+
+(* An odd-cycle vertex cover: fractional LP optimum, deep search tree —
+   a model the solver cannot settle at the root, so cancellation has
+   something to interrupt. *)
+let hard_model n =
+  let m = Ilp.Model.create () in
+  let v = Array.init n (fun _ -> Ilp.Model.binary m) in
+  for i = 0 to n - 1 do
+    Ilp.Model.add_ge m [ (1.0, v.(i)); (1.0, v.((i + 1) mod n)) ] 1.0
+  done;
+  Ilp.Model.set_objective m (Array.to_list (Array.map (fun x -> (1.0, x)) v));
+  m
+
+let no_lp =
+  { Ilp.Solver.default_config with lp_root = false; lp_depth = 0 }
+
+(* Pigeonhole: [holes + 1] pigeons into [holes] holes.  Infeasible, but
+   only by exhausting an exponential tree — propagation and cover bounds
+   cannot close it early, so there is always work left to cancel. *)
+let pigeonhole holes =
+  let m = Ilp.Model.create () in
+  let x =
+    Array.init (holes + 1) (fun _ ->
+        Array.init holes (fun _ -> Ilp.Model.binary m))
+  in
+  Array.iter
+    (fun row ->
+      Ilp.Model.add_ge m (Array.to_list (Array.map (fun v -> (1.0, v)) row)) 1.0)
+    x;
+  for h = 0 to holes - 1 do
+    Ilp.Model.add_le m
+      (List.init (holes + 1) (fun p -> (1.0, x.(p).(h))))
+      1.0
+  done;
+  Ilp.Model.set_objective m
+    (List.concat_map
+       (fun row -> Array.to_list (Array.map (fun v -> (1.0, v)) row))
+       (Array.to_list x));
+  m
+
+let test_prefired_cancel_stops_ilp () =
+  let outcome, stats =
+    Ilp.Solver.solve ~config:no_lp ~cancel:(fun () -> true) (pigeonhole 9)
+  in
+  (match outcome with
+  | Ilp.Solver.Feasible _ | Ilp.Solver.Unknown -> ()
+  | Ilp.Solver.Optimal _ | Ilp.Solver.Infeasible ->
+    Alcotest.fail "cancelled search claimed a proof");
+  (* The poll runs every 256 nodes: a prompt stop visits few nodes. *)
+  Alcotest.(check bool) "stopped promptly" true (stats.Ilp.Solver.nodes <= 1024)
+
+let test_prefired_cancel_stops_parallel () =
+  let outcome, stats =
+    Ilp.Solver.solve_parallel ~config:no_lp ~jobs:4
+      ~cancel:(fun () -> true)
+      (pigeonhole 9)
+  in
+  (* Returning at all proves every spawned domain was joined. *)
+  (match outcome with
+  | Ilp.Solver.Feasible _ | Ilp.Solver.Unknown -> ()
+  | Ilp.Solver.Optimal _ | Ilp.Solver.Infeasible ->
+    Alcotest.fail "cancelled parallel search claimed a proof");
+  Alcotest.(check bool)
+    "all workers stopped promptly" true
+    (stats.Ilp.Solver.nodes <= 8 * 1024)
+
+let test_prefired_cancel_stops_cdcl () =
+  let pb = Pb.create () in
+  let v = Array.init 30 (fun _ -> Pb.fresh pb) in
+  (* Pigeonhole-flavoured contradiction: exhaustive search territory. *)
+  Pb.at_least pb (Array.to_list v) 16;
+  Pb.at_most pb (Array.to_list v) 14;
+  match Pb.solve ~cancel:(fun () -> true) pb with
+  | Cdcl.Unknown -> ()
+  | Cdcl.Sat _ | Cdcl.Unsat ->
+    Alcotest.fail "cancelled CDCL search still answered"
+
+(* First-winner-cancels: the loser spins until the token fires, so the
+   race terminating (with the loser marked non-definitive) proves the
+   token propagated and both domains were joined. *)
+let test_race_cancels_loser () =
+  let finishes =
+    Portfolio.race
+      ~definitive:(fun r -> r = `Win)
+      [
+        { Portfolio.name = "fast"; run = (fun ~cancel:_ -> `Win) };
+        {
+          Portfolio.name = "spin";
+          run =
+            (fun ~cancel ->
+              while not (cancel ()) do
+                Domain.cpu_relax ()
+              done;
+              `Cancelled);
+        };
+      ]
+  in
+  match finishes with
+  | [ fast; spin ] ->
+    Alcotest.(check string) "winner" "fast" fast.Portfolio.from;
+    Alcotest.(check bool) "winner definitive" true fast.Portfolio.definitive;
+    Alcotest.(check bool) "loser observed the token" true
+      (spin.Portfolio.result = `Cancelled && not spin.Portfolio.definitive)
+  | _ -> Alcotest.fail "race lost a finish"
+
+let test_race_propagates_exception () =
+  match
+    Portfolio.race
+      ~definitive:(fun _ -> false)
+      [
+        { Portfolio.name = "boom"; run = (fun ~cancel:_ -> failwith "boom") };
+        {
+          Portfolio.name = "spin";
+          run =
+            (fun ~cancel ->
+              while not (cancel ()) do
+                Domain.cpu_relax ()
+              done;
+              ());
+        };
+      ]
+  with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Failure msg -> Alcotest.(check string) "re-raised" "boom" msg
+
+(* jobs = 1 is exactly the sequential solver — same outcome, same node
+   count, no domains spawned. *)
+let test_jobs1_is_sequential () =
+  let seq_outcome, seq_stats = Ilp.Solver.solve ~config:no_lp (hard_model 15) in
+  let par_outcome, par_stats =
+    Ilp.Solver.solve_parallel ~config:no_lp ~jobs:1 (hard_model 15)
+  in
+  (match (seq_outcome, par_outcome) with
+  | Ilp.Solver.Optimal a, Ilp.Solver.Optimal b ->
+    Alcotest.(check (float 1e-9)) "same optimum" a.objective b.objective
+  | _ -> Alcotest.fail "odd-cycle cover must be solved to optimality");
+  Alcotest.(check int) "identical search" seq_stats.Ilp.Solver.nodes
+    par_stats.Ilp.Solver.nodes
+
+(* Portfolio engine with jobs <= 1 resolves to the plain ILP engine. *)
+let test_portfolio_jobs1_degrades () =
+  let g = Prng.create 99 in
+  let inst = Util.random_instance ~max_rules:6 g in
+  let seq = Solve.run ~options:(options ()) inst in
+  let one =
+    Solve.run ~options:(options ~engine:Solve.Portfolio_engine ~jobs:1 ()) inst
+  in
+  Alcotest.(check bool) "same status" true (seq.Solve.status = one.Solve.status);
+  Alcotest.(check bool) "no race, no winner" true (one.Solve.winner = None)
+
+let suite =
+  [
+    Alcotest.test_case "parallel B&B matches sequential" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "portfolio matches sequential" `Quick
+      test_portfolio_matches_sequential;
+    Alcotest.test_case "pre-fired cancel stops ILP" `Quick
+      test_prefired_cancel_stops_ilp;
+    Alcotest.test_case "pre-fired cancel stops parallel ILP" `Quick
+      test_prefired_cancel_stops_parallel;
+    Alcotest.test_case "pre-fired cancel stops CDCL" `Quick
+      test_prefired_cancel_stops_cdcl;
+    Alcotest.test_case "race cancels the loser" `Quick test_race_cancels_loser;
+    Alcotest.test_case "race re-raises entrant exceptions" `Quick
+      test_race_propagates_exception;
+    Alcotest.test_case "jobs=1 is the sequential search" `Quick
+      test_jobs1_is_sequential;
+    Alcotest.test_case "portfolio jobs=1 degrades to ILP" `Quick
+      test_portfolio_jobs1_degrades;
+  ]
