@@ -1,0 +1,141 @@
+(* Chaos soak for the fault-tolerant runtime: a seeded churn stream
+   (tenant arrivals, re-routes, policy updates, departures, capacity
+   shrinks, switch/link failures) is driven through the reconciliation
+   engine with injected data-plane faults — install failures, timeouts
+   and a guaranteed mid-run switch loss.  Every transition report must
+   name its degradation-ladder rung and pass post-event verification
+   (structural + semantic + live Netsim forwarding, including rollback
+   and quarantine events); any unverified transition fails the bench,
+   which is what the CI chaos lane trips on. *)
+
+let run ~title ~seed ~events ~jobs ~time_limit () =
+  let family =
+    {
+      Workload.default with
+      Workload.num_policies = 6;
+      rules = 8;
+      paths = 24;
+      capacity = 40;
+      seed;
+    }
+  in
+  let inst = Workload.build family in
+  let options =
+    Placement.Solve.options
+      ~engine:
+        (if jobs > 1 then Placement.Solve.Portfolio_engine
+         else Placement.Solve.Ilp_engine)
+      ~jobs
+      ~ilp_config:{ Ilp.Solver.default_config with time_limit }
+      ()
+  in
+  let report, t_base =
+    Harness.wall (fun () -> Placement.Solve.run ~options inst)
+  in
+  match report.Placement.Solve.solution with
+  | None ->
+    Printf.printf "\n== %s ==\nbase instance unsolved (%s); skipped\n" title
+      (Harness.status_short report.Placement.Solve.status)
+  | Some initial ->
+    Printf.printf "\n== %s ==\nbase solve: %s in %ss; %d events, seed %d\n"
+      title
+      (Harness.status_short report.Placement.Solve.status)
+      (Harness.sec t_base) events seed;
+    let fault =
+      Runtime.Fault_plan.make ~fail_rate:0.15 ~timeout_rate:0.08 ~seed ()
+    in
+    let config =
+      {
+        Runtime.Engine.default_config with
+        Runtime.Engine.deadline_s = 10.0;
+        solve_options = options;
+      }
+    in
+    let eng = Runtime.Engine.create ~config ~fault initial in
+    let churn = Runtime.Churn.make ~rules:6 ~seed:((seed * 13) + 5) () in
+    let reports, t_run =
+      Harness.wall (fun () ->
+          let head = Runtime.Churn.drive churn eng (events / 3) in
+          (* Guaranteed switch loss mid-run: kill the busiest live
+             switch, so the soak always exercises failover (or
+             quarantine) no matter what the churn weights drew. *)
+          let busiest =
+            let usage =
+              Placement.Solution.switch_usage (Runtime.Engine.good eng)
+            in
+            let dead = Runtime.Engine.dead_switches eng in
+            let best = ref (-1) and arg = ref (-1) in
+            Array.iteri
+              (fun k u ->
+                if (not (List.mem k dead)) && u > !best then begin
+                  best := u;
+                  arg := k
+                end)
+              usage;
+            !arg
+          in
+          let head =
+            if busiest < 0 then head
+            else
+              head
+              @ [
+                  Runtime.Engine.handle eng
+                    (Runtime.Event.Switch_fail { switch = busiest });
+                ]
+          in
+          head @ Runtime.Churn.drive churn eng (events - List.length head))
+    in
+    let count p = List.length (List.filter p reports) in
+    let rung_row rung =
+      [
+        Runtime.Report.rung_name rung;
+        string_of_int
+          (count (fun (r : Runtime.Report.t) -> r.Runtime.Report.rung = rung));
+      ]
+    in
+    Harness.print_table ~title:"transitions by ladder rung"
+      ~headers:[ "rung"; "events" ]
+      (List.map rung_row
+         [
+           Runtime.Report.Noop;
+           Runtime.Report.Incremental;
+           Runtime.Report.Full_resolve;
+           Runtime.Report.Greedy;
+           Runtime.Report.Quarantine;
+         ]);
+    let sum f =
+      List.fold_left (fun acc (r : Runtime.Report.t) -> acc + f r) 0 reports
+    in
+    Printf.printf
+      "ops: %d attempts, %d injected failures, %d timeouts, %d retries, %d \
+       forced resyncs; %d rollbacks\n"
+      (sum (fun r -> r.Runtime.Report.attempts))
+      (sum (fun r -> r.Runtime.Report.failures))
+      (sum (fun r -> r.Runtime.Report.timeouts))
+      (sum (fun r -> r.Runtime.Report.retries))
+      (sum (fun r -> r.Runtime.Report.forced_resyncs))
+      (count (fun r ->
+           match r.Runtime.Report.applied with
+           | Runtime.Report.Rolled_back _ -> true
+           | _ -> false));
+    Printf.printf "end state: %d live entries, quarantined=[%s], dead=[%s]\n"
+      (Runtime.Engine.live_entries eng)
+      (String.concat ","
+         (List.map string_of_int (Runtime.Engine.quarantined eng)))
+      (String.concat ","
+         (List.map string_of_int (Runtime.Engine.dead_switches eng)));
+    List.iteri
+      (fun i (r : Runtime.Report.t) ->
+        if not r.Runtime.Report.verified then
+          Printf.printf "UNVERIFIED %3d: %s\n" i (Runtime.Report.signature r))
+      reports;
+    let unverified =
+      count (fun (r : Runtime.Report.t) -> not r.Runtime.Report.verified)
+    in
+    if unverified > 0 then begin
+      Printf.printf "chaos: %d/%d transitions FAILED verification\n" unverified
+        (List.length reports);
+      exit 1
+    end;
+    Printf.printf "chaos: all %d transitions verified in %ss\n"
+      (List.length reports) (Harness.sec t_run)

@@ -4,10 +4,10 @@
    Bechamel micro-benchmark with one timing probe per table/figure.
 
    Usage: dune exec bench/main.exe -- [--quick] [--smoke] [--no-micro]
-                                      [--jobs N]
+                                      [--jobs N] [--seed N]
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
-                                              portfolio] *)
+                                              portfolio|chaos] *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -16,7 +16,7 @@ let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 let no_micro = smoke || Array.exists (( = ) "--no-micro") Sys.argv
 
 (* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
-   table2 exp5 s1 b1 ablations portfolio); repeatable. *)
+   table2 exp5 s1 b1 ablations portfolio chaos); repeatable. *)
 let only =
   let rec collect i acc =
     if i >= Array.length Sys.argv then acc
@@ -37,6 +37,17 @@ let jobs =
     if i + 1 >= Array.length Sys.argv then 4
     else if Sys.argv.(i) = "--jobs" then
       Option.value (int_of_string_opt Sys.argv.(i + 1)) ~default:4
+    else find (i + 1)
+  in
+  find 1
+
+(* --seed N varies the chaos-soak churn/fault stream (CI runs a small
+   seed matrix through it). *)
+let seed =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then 1
+    else if Sys.argv.(i) = "--seed" then
+      Option.value (int_of_string_opt Sys.argv.(i + 1)) ~default:1
     else find (i + 1)
   in
   find 1
@@ -116,6 +127,17 @@ let run_experiments () =
             jobs=%d) vs sequential ILP"
            jobs)
       ~jobs ~seeds ~time_limit ~quick ();
+
+  if wants "chaos" then
+    Exp_chaos.run
+      ~title:
+        (Printf.sprintf
+           "Experiment C1: chaos soak (runtime reconciliation under injected \
+            faults, seed %d)"
+           seed)
+      ~seed
+      ~events:(if smoke then 60 else 100)
+      ~jobs ~time_limit ();
 
   if wants "b1" then
   Exp_baseline.run

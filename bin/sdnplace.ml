@@ -5,9 +5,42 @@
      info       print instance statistics (sizes, dependency graph, groups)
      solve      run the Fig. 4 pipeline and print the placement
      verify     solve, then run the structural + semantic verifier
+     events     replay a seeded churn/chaos event stream on the runtime
 *)
 
 open Cmdliner
+
+(* ---------------- exit codes ---------------- *)
+
+let exit_violations = 1
+let exit_infeasible = 10
+let exit_deadline = 11
+let exit_internal = 12
+
+let status_exit = function
+  | `Optimal -> Cmd.Exit.ok
+  | `Infeasible -> exit_infeasible
+  | `Feasible | `Unknown -> exit_deadline
+
+let exits =
+  Cmd.Exit.info Cmd.Exit.ok
+    ~doc:"on success: an optimal placement, a passing verification, or a \
+          fully verified event replay."
+  :: Cmd.Exit.info exit_violations
+       ~doc:"when verification found violations (or an event replay left \
+             unverified transitions)."
+  :: Cmd.Exit.info exit_infeasible ~doc:"when the instance is infeasible."
+  :: Cmd.Exit.info exit_deadline
+       ~doc:"when the time budget expired before a definitive answer (a \
+             best-effort placement may still have been printed)."
+  :: Cmd.Exit.info exit_internal ~doc:"on an internal error."
+  :: Cmd.Exit.defaults
+
+let protect body =
+  try body ()
+  with exn ->
+    Printf.eprintf "sdnplace: internal error: %s\n%!" (Printexc.to_string exn);
+    exit_internal
 
 (* ---------------- shared arguments ---------------- *)
 
@@ -213,6 +246,7 @@ let print_solution (sol : Placement.Solution.t) =
 
 let solve_run file merge slice engine objective time_limit jobs strategy
     show_tables =
+  protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options = options_of merge slice engine objective time_limit jobs strategy in
   let report = Placement.Solve.run ~options inst in
@@ -225,11 +259,10 @@ let solve_run file merge slice engine objective time_limit jobs strategy
   (match report.Placement.Solve.sat_conflicts with
   | Some c -> Format.printf "sat: %d conflicts@." c
   | None -> ());
-  match report.Placement.Solve.solution with
-  | Some sol ->
-    if show_tables then print_solution sol;
-    0
-  | None -> 1
+  (match report.Placement.Solve.solution with
+  | Some sol -> if show_tables then print_solution sol
+  | None -> ());
+  status_exit report.Placement.Solve.status
 
 let tables_flag =
   Arg.(
@@ -238,7 +271,7 @@ let tables_flag =
 
 let solve_cmd =
   Cmd.v
-    (Cmd.info "solve" ~doc:"Place the rules and print the result.")
+    (Cmd.info "solve" ~exits ~doc:"Place the rules and print the result.")
     Term.(
       const solve_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
       $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ tables_flag)
@@ -246,6 +279,7 @@ let solve_cmd =
 (* ---------------- balance ---------------- *)
 
 let balance_run file time_limit =
+  protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options =
     Placement.Solve.options
@@ -255,7 +289,7 @@ let balance_run file time_limit =
   match Placement.Balance.min_max_usage ~options inst with
   | None ->
     Format.printf "infeasible even at the declared capacities@.";
-    1
+    exit_infeasible
   | Some { Placement.Balance.budget; report; probes } ->
     Format.printf
       "minimal max-occupancy: %d entries per switch (%d probes)@." budget
@@ -272,7 +306,7 @@ let balance_run file time_limit =
 
 let balance_cmd =
   Cmd.v
-    (Cmd.info "balance"
+    (Cmd.info "balance" ~exits
        ~doc:"Minimize the maximum per-switch table occupancy (capacity slack).")
     Term.(const balance_run $ instance_arg $ time_limit_arg)
 
@@ -280,12 +314,13 @@ let balance_cmd =
 
 let verify_run file merge slice engine objective time_limit jobs strategy
     samples =
+  protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options = options_of merge slice engine objective time_limit jobs strategy in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
   match report.Placement.Solve.solution with
-  | None -> if report.Placement.Solve.status = `Infeasible then 0 else 1
+  | None -> status_exit report.Placement.Solve.status
   | Some sol ->
     let violations =
       Placement.Verify.check ~random_samples:samples (Prng.create 0xC0FFEE)
@@ -310,7 +345,7 @@ let verify_run file merge slice engine objective time_limit jobs strategy
       List.iter
         (fun v -> Format.printf "  %a@." Placement.Verify.pp_violation v)
         violations;
-      1
+      exit_violations
     end
 
 let verify_cmd =
@@ -320,15 +355,126 @@ let verify_cmd =
       & info [ "samples" ] ~docv:"N" ~doc:"Random probe packets per path.")
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Solve and verify the placement end to end.")
+    (Cmd.info "verify" ~exits ~doc:"Solve and verify the placement end to end.")
     Term.(
       const verify_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
       $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ samples)
 
+(* ---------------- events ---------------- *)
+
+let events_run file merge slice engine objective time_limit jobs strategy
+    num_events seed fail_rate timeout_rate deadline rules =
+  protect @@ fun () ->
+  let inst = Placement.Spec.load file in
+  let options = options_of merge slice engine objective time_limit jobs strategy in
+  let report = Placement.Solve.run ~options inst in
+  match report.Placement.Solve.solution with
+  | None ->
+    Format.printf "no initial placement: %a@." Placement.Encode.pp_status
+      report.Placement.Solve.status;
+    status_exit report.Placement.Solve.status
+  | Some initial ->
+    Format.printf "initial placement: %a@." Placement.Solution.pp_summary
+      initial;
+    let fault = Runtime.Fault_plan.make ~fail_rate ~timeout_rate ~seed () in
+    let config =
+      {
+        Runtime.Engine.default_config with
+        Runtime.Engine.deadline_s = deadline;
+        solve_options = options;
+      }
+    in
+    let eng = Runtime.Engine.create ~config ~fault initial in
+    let churn = Runtime.Churn.make ~rules ~seed:((seed * 31) + 7) () in
+    let reports = Runtime.Churn.drive churn eng num_events in
+    List.iteri (fun i r -> Format.printf "%3d  %a@." i Runtime.Report.pp r) reports;
+    let count p = List.length (List.filter p reports) in
+    Format.printf "@.%d events: %s@." num_events
+      (String.concat ", "
+         (List.map
+            (fun rung ->
+              Printf.sprintf "%s=%d" (Runtime.Report.rung_name rung)
+                (count (fun (r : Runtime.Report.t) -> r.Runtime.Report.rung = rung)))
+            [
+              Runtime.Report.Noop;
+              Runtime.Report.Incremental;
+              Runtime.Report.Full_resolve;
+              Runtime.Report.Greedy;
+              Runtime.Report.Quarantine;
+            ]));
+    Format.printf "rollbacks=%d quarantined=[%s] live-entries=%d@."
+      (count (fun (r : Runtime.Report.t) ->
+           match r.Runtime.Report.applied with
+           | Runtime.Report.Rolled_back _ -> true
+           | _ -> false))
+      (String.concat ","
+         (List.map string_of_int (Runtime.Engine.quarantined eng)))
+      (Runtime.Engine.live_entries eng);
+    let unverified =
+      count (fun (r : Runtime.Report.t) -> not r.Runtime.Report.verified)
+    in
+    if unverified = 0 then begin
+      Format.printf "all %d transitions verified@." num_events;
+      Cmd.Exit.ok
+    end
+    else begin
+      Format.printf "%d transitions FAILED verification@." unverified;
+      exit_violations
+    end
+
+let events_cmd =
+  let num_events =
+    Arg.(
+      value & opt int 50
+      & info [ "events" ] ~docv:"N" ~doc:"Number of churn events to replay.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for churn and fault injection; equal seeds replay the \
+                same run.")
+  in
+  let fail_rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "fail-rate" ] ~docv:"P"
+          ~doc:"Per-operation probability of an injected switch failure.")
+  in
+  let timeout_rate =
+    Arg.(
+      value & opt float 0.05
+      & info [ "timeout-rate" ] ~docv:"P"
+          ~doc:"Per-operation probability of an injected switch timeout.")
+  in
+  let deadline =
+    Arg.(
+      value & opt float 5.0
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget per event before the degradation ladder \
+                falls through to cheaper rungs.")
+  in
+  let rules =
+    Arg.(
+      value & opt int 6
+      & info [ "rules" ] ~docv:"N" ~doc:"Rules per generated tenant policy.")
+  in
+  Cmd.v
+    (Cmd.info "events" ~exits
+       ~doc:
+         "Replay a seeded churn/chaos event stream (tenant arrivals, \
+          re-routes, policy updates, departures, capacity shrinks, \
+          switch/link failures) against the fault-tolerant runtime, with \
+          injected data-plane faults, and verify every transition.")
+    Term.(
+      const events_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
+      $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ num_events
+      $ seed $ fail_rate $ timeout_rate $ deadline $ rules)
+
 let main_cmd =
   Cmd.group
-    (Cmd.info "sdnplace" ~version:"1.0.0"
+    (Cmd.info "sdnplace" ~version:"1.0.0" ~exits
        ~doc:"ILP-based distributed firewall rule placement for SDNs (DSN'14).")
-    [ generate_cmd; info_cmd; solve_cmd; verify_cmd; balance_cmd ]
+    [ generate_cmd; info_cmd; solve_cmd; verify_cmd; balance_cmd; events_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

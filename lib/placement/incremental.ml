@@ -35,14 +35,15 @@ let paths_without routing ingresses =
     (fun (p : Routing.Path.t) -> not (List.mem p.Routing.Path.ingress ingresses))
     (Routing.Table.paths routing)
 
-let solve_sub ?options ~net ~policies ~paths ~capacities () =
+let solve_sub ?options ?deadline ?cancel ~net ~policies ~paths ~capacities () =
   let routing = Routing.Table.of_paths paths in
   let sub_inst =
     Instance.make ~net ~routing ~policies ~capacities
   in
-  Solve.run ?options sub_inst
+  Solve.run ?options ?deadline ?cancel sub_inst
 
-let install ?options ~(base : Solution.t) ~policies ~paths () =
+let install ?options ?deadline ?cancel ~(base : Solution.t) ~policies ~paths ()
+    =
   let base_inst = base.Solution.instance in
   List.iter
     (fun (i, _) ->
@@ -50,7 +51,8 @@ let install ?options ~(base : Solution.t) ~policies ~paths () =
         invalid_arg "Incremental.install: ingress already carries a policy")
     policies;
   let report =
-    solve_sub ?options ~net:base_inst.Instance.net ~policies ~paths
+    solve_sub ?options ?deadline ?cancel ~net:base_inst.Instance.net ~policies
+      ~paths
       ~capacities:(residual_capacities base) ()
   in
   match report.Solve.solution with
@@ -71,15 +73,16 @@ let install ?options ~(base : Solution.t) ~policies ~paths () =
   | None ->
     { status = report.Solve.status; solution = None; sub_report = Some report }
 
-let reroute ?options ~(base : Solution.t) ~ingresses ~new_paths () =
+let reroute ?options ?deadline ?cancel ~(base : Solution.t) ~ingresses
+    ~new_paths () =
   let base_inst = base.Solution.instance in
   let moved = keep_policies base_inst ingresses in
   if List.length moved <> List.length ingresses then
     invalid_arg "Incremental.reroute: unknown ingress";
   let stripped = Solution.strip_ingresses base ingresses in
   let report =
-    solve_sub ?options ~net:base_inst.Instance.net ~policies:moved
-      ~paths:new_paths
+    solve_sub ?options ?deadline ?cancel ~net:base_inst.Instance.net
+      ~policies:moved ~paths:new_paths
       ~capacities:(residual_capacities stripped) ()
   in
   match report.Solve.solution with
@@ -114,14 +117,15 @@ let remove ~(base : Solution.t) ~ingresses =
   in
   { stripped with Solution.instance }
 
-let update_policy ?options ~(base : Solution.t) ~ingress ~policy () =
+let update_policy ?options ?deadline ?cancel ~(base : Solution.t) ~ingress
+    ~policy () =
   let base_inst = base.Solution.instance in
   if Instance.policy_of base_inst ingress = None then
     invalid_arg "Incremental.update_policy: unknown ingress";
   let stripped = Solution.strip_ingresses base [ ingress ] in
   let paths = Routing.Table.paths_from base_inst.Instance.routing ingress in
   let report =
-    solve_sub ?options ~net:base_inst.Instance.net
+    solve_sub ?options ?deadline ?cancel ~net:base_inst.Instance.net
       ~policies:[ (ingress, policy) ]
       ~paths
       ~capacities:(residual_capacities stripped) ()

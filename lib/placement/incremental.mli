@@ -27,6 +27,8 @@ val residual_capacities : Solution.t -> int array
 
 val install :
   ?options:Solve.options ->
+  ?deadline:float ->
+  ?cancel:(unit -> bool) ->
   base:Solution.t ->
   policies:(int * Acl.Policy.t) list ->
   paths:Routing.Path.t list ->
@@ -34,10 +36,19 @@ val install :
   result
 (** Add new ingress policies with their routed paths.  The new ingresses
     must not already carry a policy.  Raises [Invalid_argument] if they
-    do, or if a path references an unknown host/switch. *)
+    do, or if a path references an unknown host/switch.
+
+    [deadline] (an absolute [Unix.gettimeofday] instant) and [cancel]
+    bound the sub-problem solve the same way {!Solve.run} is bounded:
+    online updates are exactly where an unbounded stall is unacceptable
+    (Section IV-E exists to make them sub-second), so the runtime hands
+    each one a hard wall-clock budget.  A deadline hit reports
+    [`Feasible] (best incumbent) or [`Unknown], never blocks. *)
 
 val reroute :
   ?options:Solve.options ->
+  ?deadline:float ->
+  ?cancel:(unit -> bool) ->
   base:Solution.t ->
   ingresses:int list ->
   new_paths:Routing.Path.t list ->
@@ -51,6 +62,8 @@ val remove : base:Solution.t -> ingresses:int list -> Solution.t
 
 val update_policy :
   ?options:Solve.options ->
+  ?deadline:float ->
+  ?cancel:(unit -> bool) ->
   base:Solution.t ->
   ingress:int ->
   policy:Acl.Policy.t ->

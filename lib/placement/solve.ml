@@ -221,7 +221,7 @@ let definitive v =
 (* Race the parallel ILP branch-and-bound against the SAT formulation,
    first winner cancels the loser.  [jobs] counts total domains: one
    runs the SAT side, the rest the ILP's subtree pool. *)
-let run_portfolio options inst_pre_plan layout =
+let run_portfolio ?(cancel = fun () -> false) options inst_pre_plan layout =
   let ilp_jobs = max 1 (options.jobs - 1) in
   (* The race shares the ILP's time budget as an overall wall-clock
      deadline.  Without it a non-definitive ILP finish (deadline hit,
@@ -231,8 +231,8 @@ let run_portfolio options inst_pre_plan layout =
     let tl = options.ilp_config.Ilp.Solver.time_limit in
     if Float.is_finite tl then Some (Unix.gettimeofday () +. tl) else None
   in
-  let timed cancel () =
-    cancel ()
+  let timed race_cancel () =
+    race_cancel () || cancel ()
     || match deadline with Some d -> Unix.gettimeofday () > d | None -> false
   in
   let entrants =
@@ -320,7 +320,27 @@ let resolve_engine options layout =
   | Portfolio_engine when options.jobs <= 1 -> Ilp_engine
   | e -> e
 
-let run ?(options = default_options) inst =
+let run ?(options = default_options) ?deadline ?cancel inst =
+  (* Fold the wall-clock deadline and the caller's cancel hook into one
+     cooperative stop signal, and clamp the ILP time limit to the
+     remaining budget so neither bound can outlive the other. *)
+  let options =
+    match deadline with
+    | None -> options
+    | Some d ->
+      let remaining = Float.max 0.01 (d -. Unix.gettimeofday ()) in
+      let tl =
+        Float.min options.ilp_config.Ilp.Solver.time_limit remaining
+      in
+      {
+        options with
+        ilp_config = { options.ilp_config with Ilp.Solver.time_limit = tl };
+      }
+  in
+  let stop () =
+    (match cancel with Some c -> c () | None -> false)
+    || match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
   let t0 = Sys.time () in
   (* Stage 1 (optional): redundancy removal, per policy. *)
   let removed = ref 0 in
@@ -348,8 +368,8 @@ let run ?(options = default_options) inst =
   let verdict, winner =
     match resolve_engine options layout with
     | Ilp_engine ->
-      (run_ilp ~jobs:options.jobs options inst_pre_plan layout, None)
-    | Sat_engine -> (run_sat options layout, None)
+      (run_ilp ~jobs:options.jobs ~cancel:stop options inst_pre_plan layout, None)
+    | Sat_engine -> (run_sat ~cancel:stop options layout, None)
     | Sat_opt_engine when options.engine = Auto_engine ->
       (* The tightness signal can misjudge (covering rows overcount
          demand — one entry covers many paths), so the descent runs as a
@@ -364,17 +384,18 @@ let run ?(options = default_options) inst =
         if Float.is_finite tl then Float.min 5.0 (Float.max 0.5 (0.25 *. tl))
         else 5.0
       in
-      let deadline = Unix.gettimeofday () +. probe_s in
+      let probe_deadline = Unix.gettimeofday () +. probe_s in
       let v =
         run_sat_opt
-          ~cancel:(fun () -> Unix.gettimeofday () > deadline)
+          ~cancel:(fun () -> stop () || Unix.gettimeofday () > probe_deadline)
           { options with sat_conflict_limit = Some budget }
           layout
       in
       if definitive v then (v, None)
-      else (run_ilp ~jobs:options.jobs options inst_pre_plan layout, None)
-    | Sat_opt_engine -> (run_sat_opt options layout, None)
-    | Portfolio_engine -> run_portfolio options inst_pre_plan layout
+      else
+        (run_ilp ~jobs:options.jobs ~cancel:stop options inst_pre_plan layout, None)
+    | Sat_opt_engine -> (run_sat_opt ~cancel:stop options layout, None)
+    | Portfolio_engine -> run_portfolio ~cancel:stop options inst_pre_plan layout
     | Auto_engine -> assert false (* resolved above *)
   in
   let t4 = Sys.time () in

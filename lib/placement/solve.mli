@@ -99,6 +99,19 @@ val tightness : Layout.t -> float
 (** Placement demand (covering rows) over capacity supply — the
     constrainedness signal [Auto_engine] switches on. *)
 
-val run : ?options:options -> Instance.t -> report
+val run :
+  ?options:options ->
+  ?deadline:float ->
+  ?cancel:(unit -> bool) ->
+  Instance.t ->
+  report
+(** [deadline] is an absolute wall-clock instant (same scale as
+    [Unix.gettimeofday]); past it every engine stops cooperatively and
+    reports its best incumbent ([`Feasible]) or [`Unknown].  The ILP
+    time limit is clamped to the remaining budget so neither bound can
+    outlive the other.  [cancel] is polled alongside the deadline — the
+    hook the fault-tolerant runtime uses to abandon a solve whose event
+    was superseded.  Both default to unbounded, preserving the original
+    behaviour. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -24,11 +24,20 @@ let race ~definitive entrants =
   | [] -> []
   | first :: rest ->
     let token = Cancel.create () in
+    (* [run] must never raise: a domain that dies with an exception
+       before firing the token would leave the other entrants spinning
+       on a cancel hook nobody will ever trip.  Everything the entrant
+       executes — its [run] body AND the caller-supplied [definitive]
+       callback — is caught, the token fired, and the failure carried
+       back as a value to be re-raised only after every domain has been
+       joined. *)
     let run e =
       let t0 = Unix.gettimeofday () in
-      match e.run ~cancel:(Cancel.hook token) with
-      | result ->
-        let d = definitive result in
+      match
+        let result = e.run ~cancel:(Cancel.hook token) in
+        (result, definitive result)
+      with
+      | result, d ->
         if d then Cancel.fire token;
         Ok
           {
@@ -42,7 +51,21 @@ let race ~definitive entrants =
         Cancel.fire token;
         Error exn
     in
-    let others = List.map (fun e -> Domain.spawn (fun () -> run e)) rest in
+    (* Spawn defensively: if the runtime refuses a domain partway
+       through, fire the token and join what was already spawned before
+       re-raising — no domain may outlive the race. *)
+    let others =
+      let spawned = ref [] in
+      (try
+         List.iter
+           (fun e -> spawned := Domain.spawn (fun () -> run e) :: !spawned)
+           rest
+       with exn ->
+         Cancel.fire token;
+         List.iter (fun d -> ignore (Domain.join d)) !spawned;
+         raise exn);
+      List.rev !spawned
+    in
     let mine = run first in
     let finishes = mine :: List.map Domain.join others in
     List.map

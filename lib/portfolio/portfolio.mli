@@ -50,8 +50,14 @@ val race : definitive:('a -> bool) -> 'a entrant list -> 'a finish list
     [definitive] fires the shared token; the others observe it through
     their [cancel] hook and return early (their partial results are
     still reported).  Every spawned domain is joined before returning;
-    if an entrant raises, the token is fired, the remaining domains are
-    joined, and the first exception is re-raised. *)
+    if an entrant raises — from its [run] body or from the [definitive]
+    callback applied to its result — the token is fired first (so no
+    other entrant is left spinning on it), the remaining domains are
+    joined, and the first exception in entrant order is re-raised.  A
+    [Domain.spawn] refused by the runtime is handled the same way:
+    already-spawned entrants are cancelled and joined before the
+    failure propagates.  Under no circumstance does a domain outlive
+    the call. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the portfolio-wide default

@@ -1,0 +1,174 @@
+type weights = {
+  install : int;
+  reroute : int;
+  update_policy : int;
+  remove : int;
+  capacity_shrink : int;
+  switch_fail : int;
+  link_fail : int;
+}
+
+let default_weights =
+  {
+    install = 6;
+    reroute = 3;
+    update_policy = 3;
+    remove = 2;
+    capacity_shrink = 2;
+    switch_fail = 1;
+    link_fail = 2;
+  }
+
+type t = {
+  prng : Prng.t;
+  weights : weights;
+  rules : int;
+  mutable killed_links : (int * int) list;
+}
+
+let make ?(weights = default_weights) ?(rules = 6) ~seed () =
+  { prng = Prng.create seed; weights; rules; killed_links = [] }
+
+let path_to t net ~ingress ~egress =
+  let src = Topo.Net.host_attach net ingress in
+  let dst = Topo.Net.host_attach net egress in
+  match Routing.Shortest.random_shortest_path t.prng net ~src ~dst with
+  | Some switches -> Some (Routing.Path.make ~ingress ~egress ~switches ())
+  | None -> None
+
+let next t eng =
+  let inst = (Engine.good eng).Placement.Solution.instance in
+  let net = inst.Placement.Instance.net in
+  let caps = inst.Placement.Instance.capacities in
+  let usage = Placement.Solution.switch_usage (Engine.good eng) in
+  let num_hosts = Topo.Net.num_hosts net in
+  let num_switches = Topo.Net.num_switches net in
+  let dead = Engine.dead_switches eng in
+  let active = Placement.Instance.ingresses inst in
+  let fenced = Engine.quarantined eng in
+  let attach_alive h = not (List.mem (Topo.Net.host_attach net h) dead) in
+  let hosts = List.init num_hosts Fun.id in
+  let free =
+    List.filter
+      (fun h ->
+        attach_alive h && (not (List.mem h active)) && not (List.mem h fenced))
+      hosts
+  in
+  let egress_pool i = List.filter (fun h -> h <> i && attach_alive h) hosts in
+  let tenants = List.sort_uniq compare (active @ fenced) in
+  let alive_switches =
+    List.filter (fun k -> not (List.mem k dead)) (List.init num_switches Fun.id)
+  in
+  let alive_edges =
+    List.filter
+      (fun (a, b) ->
+        (not (List.mem a dead))
+        && (not (List.mem b dead))
+        && not (List.mem (a, b) t.killed_links))
+      (Topo.Net.edges net)
+  in
+  let fresh_paths i =
+    let pool = egress_pool i in
+    if pool = [] then []
+    else
+      let n = 1 + Prng.int t.prng 2 in
+      List.filter_map
+        (fun _ -> path_to t net ~ingress:i ~egress:(Prng.choose_list t.prng pool))
+        (List.init n Fun.id)
+  in
+  let fresh_policy i paths =
+    let egresses =
+      List.sort_uniq compare
+        (List.map (fun (p : Routing.Path.t) -> p.Routing.Path.egress) paths)
+    in
+    let egresses = if egresses = [] then egress_pool i else egresses in
+    let num_rules = max 1 (t.rules + Prng.int_in t.prng (-2) 2) in
+    Classbench.policy_for_ingress t.prng ~net ~egresses ~num_rules
+  in
+  (* Each category: (weight, available?, build).  Builders may still
+     come up empty (no shortest path, say); we fall through in weighted
+     order until one produces. *)
+  let categories =
+    [
+      ( t.weights.install,
+        free <> [],
+        fun () ->
+          let i = Prng.choose_list t.prng free in
+          match fresh_paths i with
+          | [] -> None
+          | paths ->
+            Some (Event.Install { ingress = i; policy = fresh_policy i paths; paths })
+      );
+      ( t.weights.reroute,
+        active <> [],
+        fun () ->
+          let i = Prng.choose_list t.prng active in
+          match fresh_paths i with
+          | [] -> None
+          | paths -> Some (Event.Reroute { ingresses = [ i ]; paths }) );
+      ( t.weights.update_policy,
+        active <> [],
+        fun () ->
+          let i = Prng.choose_list t.prng active in
+          let paths =
+            Routing.Table.paths_from inst.Placement.Instance.routing i
+          in
+          Some (Event.Update_policy { ingress = i; policy = fresh_policy i paths })
+      );
+      ( t.weights.remove,
+        tenants <> [],
+        fun () ->
+          Some (Event.Remove { ingresses = [ Prng.choose_list t.prng tenants ] })
+      );
+      ( t.weights.capacity_shrink,
+        List.exists (fun k -> caps.(k) > 0 && not (List.mem k dead)) alive_switches,
+        fun () ->
+          let pool =
+            List.filter (fun k -> caps.(k) > 0) alive_switches
+          in
+          let k = Prng.choose_list t.prng pool in
+          let capacity =
+            if usage.(k) > 0 && Prng.bool t.prng then usage.(k) - 1
+            else caps.(k) / 2
+          in
+          Some (Event.Capacity_shrink { switch = k; capacity }) );
+      ( t.weights.switch_fail,
+        List.length dead < num_switches / 4 && alive_switches <> [],
+        fun () ->
+          Some (Event.Switch_fail { switch = Prng.choose_list t.prng alive_switches })
+      );
+      ( t.weights.link_fail,
+        List.length t.killed_links < List.length (Topo.Net.edges net) / 4
+        && alive_edges <> [],
+        fun () ->
+          let u, v = Prng.choose_list t.prng alive_edges in
+          t.killed_links <- (u, v) :: t.killed_links;
+          Some (Event.Link_fail { u; v }) );
+    ]
+  in
+  let rec draw avail =
+    let total = List.fold_left (fun acc (w, _, _) -> acc + w) 0 avail in
+    if total = 0 then
+      (* Degenerate state; emit something deterministic and harmless. *)
+      Event.Remove { ingresses = [ 0 ] }
+    else
+      let roll = Prng.int t.prng total in
+      let rec pick acc = function
+        | [] -> assert false
+        | ((w, _, build) as c) :: rest ->
+          if roll < acc + w then (c, build)
+          else pick (acc + w) rest
+      in
+      let chosen, build = pick 0 avail in
+      match build () with
+      | Some e -> e
+      | None -> draw (List.filter (fun c -> c != chosen) avail)
+  in
+  draw (List.filter (fun (w, ok, _) -> w > 0 && ok) categories)
+
+let drive t eng n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else go (Engine.handle eng (next t eng) :: acc) (k - 1)
+  in
+  go [] n

@@ -1,0 +1,44 @@
+(** Seeded churn: a generator of plausible network events against a live
+    {!Engine}.
+
+    Each {!next} call inspects the engine's current state (active
+    tenants, free hosts, dead infrastructure) and draws one event from a
+    weighted mix — tenant arrivals with ClassBench-style policies and
+    random shortest paths, re-routes, policy updates, departures,
+    capacity shrinks and switch/link failures.  All draws come from one
+    seeded {!Prng} stream, so a (seed, weights, engine) triple replays
+    the same event sequence — the chaos benchmark and the determinism
+    tests both rely on this.
+
+    Generated events are {e plausible}, not guaranteed valid: the stream
+    may occasionally ask for something the engine rejects (e.g. a link
+    that just died); rejection reports are part of normal operation. *)
+
+type weights = {
+  install : int;
+  reroute : int;
+  update_policy : int;
+  remove : int;
+  capacity_shrink : int;
+  switch_fail : int;
+  link_fail : int;
+}
+
+val default_weights : weights
+(** Arrival-heavy with a steady trickle of failures. *)
+
+type t
+
+val make : ?weights:weights -> ?rules:int -> seed:int -> unit -> t
+(** [rules] is the per-policy rule count for generated tenants
+    (default 6). *)
+
+val next : t -> Engine.t -> Event.t
+(** One event drawn against the engine's current state.  Falls back
+    across categories when a draw is impossible (e.g. no active tenant
+    to remove); always returns an event as long as the network has at
+    least one host. *)
+
+val drive : t -> Engine.t -> int -> Report.t list
+(** Generate-and-handle [n] events in sequence; the reports come back in
+    event order. *)

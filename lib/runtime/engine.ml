@@ -1,0 +1,669 @@
+open Placement
+
+type config = {
+  deadline_s : float;
+  solve_options : Solve.options;
+  rungs : Report.rung list;
+  switch_config : Switch_api.config;
+  verify_samples : int;
+  verify_seed : int;
+}
+
+let default_config =
+  {
+    deadline_s = 30.0;
+    solve_options = Solve.default_options;
+    rungs = [ Report.Incremental; Report.Full_resolve; Report.Greedy ];
+    switch_config = Switch_api.default_config;
+    verify_samples = 10;
+    verify_seed = 0x5EED;
+  }
+
+(* A fenced ingress: the paths and probe packets remembered at quarantine
+   time, so fail-closed verification keeps working after the policy is
+   stripped from the good solution. *)
+type fenced = {
+  q_ingress : int;
+  q_paths : Routing.Path.t list;
+  q_probes : Ternary.Packet.t list;
+}
+
+type t = {
+  config : config;
+  fault : Fault_plan.t;
+  api : Switch_api.t;
+  mutable good : Solution.t;
+  mutable quarantine : fenced list;
+  mutable dead_switches : int list;
+  mutable dead_links : (int * int) list;
+  route_prng : Prng.t;
+  verify_prng : Prng.t;
+}
+
+let inst t = t.good.Solution.instance
+let net t = (inst t).Instance.net
+
+let sort_uniq l = List.sort_uniq compare l
+
+let rec take n = function
+  | [] -> []
+  | x :: xs -> if n <= 0 then [] else x :: take (n - 1) xs
+
+let tables_of_solution (sol : Solution.t) =
+  let { Tables.netsim; splits = _ } = Tables.to_netsim sol in
+  let n = Topo.Net.num_switches sol.Solution.instance.Instance.net in
+  Array.init n (Netsim.table netsim)
+
+let create ?(config = default_config) ?(fault = Fault_plan.none) good =
+  let api =
+    Switch_api.create ~config:config.switch_config ~fault
+      (tables_of_solution good)
+  in
+  {
+    config;
+    fault;
+    api;
+    good;
+    quarantine = [];
+    dead_switches = [];
+    dead_links = [];
+    route_prng = Prng.create ((config.verify_seed * 2) + 1);
+    verify_prng = Prng.create config.verify_seed;
+  }
+
+let good t = t.good
+let netsim t = Netsim.make (net t) (Switch_api.snapshot t.api)
+
+let live_entries t =
+  Array.fold_left (fun acc es -> acc + List.length es) 0 (Switch_api.tables t.api)
+
+let quarantined t = List.sort compare (List.map (fun q -> q.q_ingress) t.quarantine)
+let dead_switches t = List.sort compare t.dead_switches
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine fencing                                                  *)
+
+let fence_entry i =
+  {
+    Netsim.tags = [ i ];
+    rule =
+      Acl.Rule.make ~field:Ternary.Field.any ~action:Acl.Rule.Drop
+        ~priority:max_int;
+  }
+
+let is_fence i (e : Netsim.entry) =
+  e.Netsim.tags = [ i ] && e.Netsim.rule.Acl.Rule.priority = max_int
+
+let force_fence t q =
+  let k = Topo.Net.host_attach (net t) q.q_ingress in
+  let live = Switch_api.tables t.api in
+  if not (List.exists (is_fence q.q_ingress) live.(k)) then
+    Switch_api.force_set t.api ~switch:k (fence_entry q.q_ingress :: live.(k))
+
+(* ------------------------------------------------------------------ *)
+(* Dead infrastructure and re-routing                                  *)
+
+let link_key u v = (min u v, max u v)
+
+let path_alive t (p : Routing.Path.t) =
+  let sw = p.Routing.Path.switches in
+  let ok = ref (not (Array.exists (fun k -> List.mem k t.dead_switches) sw)) in
+  Array.iteri
+    (fun idx k ->
+      if idx > 0 && List.mem (link_key sw.(idx - 1) k) t.dead_links then
+        ok := false)
+    sw;
+  !ok
+
+let pruned_net t =
+  let n = net t in
+  let dead k = List.mem k t.dead_switches in
+  let edges =
+    List.filter
+      (fun (a, b) ->
+        not (dead a || dead b || List.mem (link_key a b) t.dead_links))
+      (Topo.Net.edges n)
+  in
+  let kinds = Array.init (Topo.Net.num_switches n) (Topo.Net.kind n) in
+  let host_attach = Array.init (Topo.Net.num_hosts n) (Topo.Net.host_attach n) in
+  Topo.Net.create ~kinds ~num_switches:(Topo.Net.num_switches n) ~edges
+    ~host_attach ()
+
+let reroute_path t pruned (p : Routing.Path.t) =
+  let src = Topo.Net.host_attach (net t) p.Routing.Path.ingress in
+  let dst = Topo.Net.host_attach (net t) p.Routing.Path.egress in
+  if List.mem src t.dead_switches || List.mem dst t.dead_switches then None
+  else
+    match Routing.Shortest.random_shortest_path t.route_prng pruned ~src ~dst with
+    | Some switches ->
+      Some
+        (Routing.Path.make ~flow:p.Routing.Path.flow
+           ~ingress:p.Routing.Path.ingress ~egress:p.Routing.Path.egress
+           ~switches ())
+    | None -> None
+
+(* Keep alive paths as they are; re-route the rest around the dead
+   infrastructure.  Returns the surviving paths plus the ingresses that
+   lost every path. *)
+let fix_paths t paths =
+  let pruned = lazy (pruned_net t) in
+  let fixed =
+    List.filter_map
+      (fun p ->
+        if path_alive t p then Some p else reroute_path t (Lazy.force pruned) p)
+      paths
+  in
+  let ingress_of (p : Routing.Path.t) = p.Routing.Path.ingress in
+  let lost =
+    List.filter
+      (fun i -> not (List.exists (fun p -> ingress_of p = i) fixed))
+      (sort_uniq (List.map ingress_of paths))
+  in
+  (fixed, lost)
+
+(* ------------------------------------------------------------------ *)
+(* Event planning                                                      *)
+
+(* What an event asks of the placement layer: tear down [strip], then
+   (re-)place [sub_policies] over [sub_paths] under [capacities].
+   [unroutable] ingresses have no live path and go straight to
+   quarantine; [release] are fenced ingresses whose tenant is leaving,
+   so their fence is lifted. *)
+type goal = {
+  strip : int list;
+  sub_policies : (int * Acl.Policy.t) list;
+  sub_paths : Routing.Path.t list;
+  capacities : int array;
+  unroutable : int list;
+  release : int list;
+}
+
+let cur_paths t i = Routing.Table.paths_from (inst t).Instance.routing i
+let has_policy t i = Instance.policy_of (inst t) i <> None
+let in_quarantine t i = List.exists (fun q -> q.q_ingress = i) t.quarantine
+
+(* Re-place a set of existing ingresses (after infrastructure loss or a
+   capacity shrink): their current paths are fixed up around the dead
+   infrastructure first. *)
+let replan t affected ~capacities =
+  let affected = sort_uniq affected in
+  let fixed, _ = fix_paths t (List.concat_map (cur_paths t) affected) in
+  let routable i =
+    List.exists (fun (p : Routing.Path.t) -> p.Routing.Path.ingress = i) fixed
+  in
+  let unroutable = List.filter (fun i -> not (routable i)) affected in
+  let sub_policies =
+    List.filter_map
+      (fun i ->
+        if routable i then
+          Option.map (fun q -> (i, q)) (Instance.policy_of (inst t) i)
+        else None)
+      affected
+  in
+  Ok
+    {
+      strip = affected;
+      sub_policies;
+      sub_paths = fixed;
+      capacities;
+      unroutable;
+      release = [];
+    }
+
+let plan t event =
+  let caps = (inst t).Instance.capacities in
+  let n = net t in
+  match event with
+  | Event.Install { ingress; policy; paths } ->
+    if ingress < 0 || ingress >= Topo.Net.num_hosts n then Error "unknown ingress"
+    else if has_policy t ingress then Error "ingress already carries a policy"
+    else if paths = [] then Error "no paths"
+    else if
+      List.exists
+        (fun (p : Routing.Path.t) -> p.Routing.Path.ingress <> ingress)
+        paths
+    then Error "path/ingress mismatch"
+    else
+      let fixed, _ = fix_paths t paths in
+      if fixed = [] then
+        Ok
+          {
+            strip = [];
+            sub_policies = [];
+            sub_paths = [];
+            capacities = caps;
+            unroutable = [ ingress ];
+            release = [];
+          }
+      else
+        Ok
+          {
+            strip = [];
+            sub_policies = [ (ingress, policy) ];
+            sub_paths = fixed;
+            capacities = caps;
+            unroutable = [];
+            release = [];
+          }
+  | Event.Reroute { ingresses; paths } ->
+    let ingresses = sort_uniq ingresses in
+    if ingresses = [] then Error "no ingresses"
+    else if List.exists (fun i -> not (has_policy t i)) ingresses then
+      Error "reroute of an ingress without a policy"
+    else if
+      List.exists
+        (fun (p : Routing.Path.t) ->
+          not (List.mem p.Routing.Path.ingress ingresses))
+        paths
+    then Error "path/ingress mismatch"
+    else
+      let fixed, _ = fix_paths t paths in
+      let routable i =
+        List.exists (fun (p : Routing.Path.t) -> p.Routing.Path.ingress = i) fixed
+      in
+      let unroutable = List.filter (fun i -> not (routable i)) ingresses in
+      let sub_policies =
+        List.filter_map
+          (fun i ->
+            if routable i then
+              Option.map (fun q -> (i, q)) (Instance.policy_of (inst t) i)
+            else None)
+          ingresses
+      in
+      Ok
+        {
+          strip = ingresses;
+          sub_policies;
+          sub_paths = fixed;
+          capacities = caps;
+          unroutable;
+          release = [];
+        }
+  | Event.Update_policy { ingress; policy } ->
+    if not (has_policy t ingress) then
+      Error "update of an ingress without a policy"
+    else
+      let fixed, _ = fix_paths t (cur_paths t ingress) in
+      if fixed = [] then
+        Ok
+          {
+            strip = [ ingress ];
+            sub_policies = [];
+            sub_paths = [];
+            capacities = caps;
+            unroutable = [ ingress ];
+            release = [];
+          }
+      else
+        Ok
+          {
+            strip = [ ingress ];
+            sub_policies = [ (ingress, policy) ];
+            sub_paths = fixed;
+            capacities = caps;
+            unroutable = [];
+            release = [];
+          }
+  | Event.Remove { ingresses } ->
+    let ingresses = sort_uniq ingresses in
+    let present = List.filter (has_policy t) ingresses in
+    let release = List.filter (in_quarantine t) ingresses in
+    if present = [] && release = [] then Error "no such ingress"
+    else
+      Ok
+        {
+          strip = present;
+          sub_policies = [];
+          sub_paths = [];
+          capacities = caps;
+          unroutable = [];
+          release;
+        }
+  | Event.Switch_fail { switch } ->
+    if switch < 0 || switch >= Topo.Net.num_switches n then
+      Error "unknown switch"
+    else if List.mem switch t.dead_switches then Error "switch already dead"
+    else begin
+      t.dead_switches <- switch :: t.dead_switches;
+      Fault_plan.mark_dead t.fault switch;
+      let caps' = Array.copy caps in
+      caps'.(switch) <- 0;
+      let affected =
+        List.filter
+          (fun i -> List.exists (fun p -> not (path_alive t p)) (cur_paths t i))
+          (Instance.ingresses (inst t))
+      in
+      replan t affected ~capacities:caps'
+    end
+  | Event.Link_fail { u; v } ->
+    let key = link_key u v in
+    if not (List.mem key (Topo.Net.edges n)) then Error "unknown link"
+    else if List.mem key t.dead_links then Error "link already dead"
+    else begin
+      t.dead_links <- key :: t.dead_links;
+      let affected =
+        List.filter
+          (fun i -> List.exists (fun p -> not (path_alive t p)) (cur_paths t i))
+          (Instance.ingresses (inst t))
+      in
+      replan t affected ~capacities:caps
+    end
+  | Event.Capacity_shrink { switch; capacity } ->
+    if switch < 0 || switch >= Topo.Net.num_switches n then
+      Error "unknown switch"
+    else if capacity < 0 then Error "negative capacity"
+    else if capacity >= caps.(switch) then Error "not a shrink"
+    else begin
+      let caps' = Array.copy caps in
+      caps'.(switch) <- capacity;
+      if (Solution.switch_usage t.good).(switch) <= capacity then
+        Ok
+          {
+            strip = [];
+            sub_policies = [];
+            sub_paths = [];
+            capacities = caps';
+            unroutable = [];
+            release = [];
+          }
+      else
+        let affected =
+          List.filter
+            (fun i ->
+              List.exists
+                (fun (c : Solution.cell) -> List.mem_assoc i c.Solution.tags)
+                t.good.Solution.per_switch.(switch))
+            (Instance.ingresses (inst t))
+        in
+        replan t affected ~capacities:caps'
+    end
+
+(* ------------------------------------------------------------------ *)
+(* The degradation ladder                                              *)
+
+let with_capacities (sol : Solution.t) capacities =
+  let i = sol.Solution.instance in
+  if i.Instance.capacities = capacities then sol
+  else
+    let instance =
+      Instance.make ~net:i.Instance.net ~routing:i.Instance.routing
+        ~policies:i.Instance.policies ~capacities
+    in
+    { sol with Solution.instance }
+
+(* The good solution with [goal.strip] torn down and the post-event
+   capacities: the base every rung builds on, and the fail-closed floor
+   when every rung fails. *)
+let stripped_base t goal =
+  let keep = List.filter (has_policy t) goal.strip in
+  let base =
+    if keep = [] then t.good else Incremental.remove ~base:t.good ~ingresses:keep
+  in
+  with_capacities base goal.capacities
+
+let full_instance t goal =
+  let inst = inst t in
+  let gone i = List.mem i goal.strip in
+  let policies =
+    List.filter (fun (i, _) -> not (gone i)) inst.Instance.policies
+    @ goal.sub_policies
+  in
+  let paths =
+    List.filter
+      (fun (p : Routing.Path.t) -> not (gone p.Routing.Path.ingress))
+      (Routing.Table.paths inst.Instance.routing)
+    @ goal.sub_paths
+  in
+  Instance.make ~net:inst.Instance.net ~routing:(Routing.Table.of_paths paths)
+    ~policies ~capacities:goal.capacities
+
+let status_name = function
+  | `Optimal -> "optimal"
+  | `Feasible -> "feasible"
+  | `Infeasible -> "infeasible"
+  | `Unknown -> "unknown"
+
+(* Walk the solve rungs of the ladder in order; [None] means every
+   enabled rung failed and the caller must fail closed.  Each rung is
+   exception-proof: the runtime degrades, it does not crash. *)
+let solve_target t goal ~t0 =
+  if goal.sub_policies = [] then Some (Report.Noop, "-", stripped_base t goal)
+  else begin
+    let deadline = t0 +. t.config.deadline_s in
+    let opts = t.config.solve_options in
+    let enabled r = List.mem r t.config.rungs in
+    let incremental () =
+      if not (enabled Report.Incremental) then None
+      else
+        try
+          let base = stripped_base t goal in
+          let mid = Float.min deadline (t0 +. (0.5 *. t.config.deadline_s)) in
+          let r =
+            Incremental.install ~options:opts ~deadline:mid ~base
+              ~policies:goal.sub_policies ~paths:goal.sub_paths ()
+          in
+          Option.map
+            (fun sol -> (Report.Incremental, status_name r.Incremental.status, sol))
+            r.Incremental.solution
+        with _ -> None
+    in
+    let full () =
+      if not (enabled Report.Full_resolve) then None
+      else
+        try
+          let r = Solve.run ~options:opts ~deadline (full_instance t goal) in
+          Option.map
+            (fun sol -> (Report.Full_resolve, status_name r.Solve.status, sol))
+            r.Solve.solution
+        with _ -> None
+    in
+    let greedy () =
+      if not (enabled Report.Greedy) then None
+      else
+        try
+          let layout =
+            Layout.build ~sliced:opts.Solve.slice (full_instance t goal)
+          in
+          match Baseline.greedy layout with
+          | Baseline.Placed sol -> Some (Report.Greedy, "greedy", sol)
+          | Baseline.Stuck _ -> None
+        with _ -> None
+    in
+    match incremental () with
+    | Some a -> Some a
+    | None -> ( match full () with Some a -> Some a | None -> greedy ())
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine bookkeeping                                              *)
+
+let zero_packet = Ternary.Packet.make ~src:0 ~dst:0 ~sport:0 ~dport:0 ~proto:0
+
+(* Must be called before [t.good] is stripped: the probes come from the
+   ingress's (old or incoming) policy. *)
+let fenced_record t goal i =
+  let paths =
+    cur_paths t i
+    @ List.filter
+        (fun (p : Routing.Path.t) -> p.Routing.Path.ingress = i)
+        goal.sub_paths
+  in
+  let policy =
+    match Instance.policy_of (inst t) i with
+    | Some q -> Some q
+    | None -> List.assoc_opt i goal.sub_policies
+  in
+  let probes =
+    zero_packet
+    ::
+    (match policy with
+    | Some q -> take 8 (Acl.Policy.witness_packets q)
+    | None -> [])
+  in
+  { q_ingress = i; q_paths = paths; q_probes = probes }
+
+(* Fail closed: keep the last-good tables, strip every affected ingress
+   from the good solution and fence it at its attachment switch.
+   Returns the newly fenced ingresses. *)
+let quarantine_now t goal =
+  let affected =
+    sort_uniq (goal.strip @ List.map fst goal.sub_policies @ goal.unroutable)
+  in
+  let fresh = List.filter (fun i -> not (in_quarantine t i)) affected in
+  let recs = List.map (fenced_record t goal) fresh in
+  (try t.good <- stripped_base t goal with _ -> ());
+  t.quarantine <- t.quarantine @ recs;
+  List.iter (force_fence t) recs;
+  fresh
+
+(* Target tables for a committed transition: the solution's tables plus
+   a fence per quarantined ingress.  Dead switches are unreachable
+   through the install API, so their target is pinned to the live table
+   (no live path traverses them); a fence that must land on a dead
+   switch goes through the controller's forced-resync path instead. *)
+let target_tables t sol quarantine =
+  let n = net t in
+  let { Tables.netsim; splits = _ } = Tables.to_netsim sol in
+  let target = Array.init (Topo.Net.num_switches n) (Netsim.table netsim) in
+  List.iter
+    (fun q ->
+      let k = Topo.Net.host_attach n q.q_ingress in
+      target.(k) <- fence_entry q.q_ingress :: target.(k))
+    quarantine;
+  List.iter
+    (fun k ->
+      List.iter
+        (fun q -> if Topo.Net.host_attach n q.q_ingress = k then force_fence t q)
+        quarantine;
+      target.(k) <- (Switch_api.tables t.api).(k))
+    t.dead_switches;
+  target
+
+(* ------------------------------------------------------------------ *)
+(* Verification                                                        *)
+
+let verify t =
+  try
+    let sol = t.good in
+    let inst = sol.Solution.instance in
+    (* The declared placement: structural + semantic. *)
+    let g = Prng.split t.verify_prng in
+    let layout = Layout.build ~sliced:sol.Solution.sliced inst in
+    let solution_ok =
+      Verify.check ~random_samples:t.config.verify_samples g layout sol = []
+    in
+    (* The live data plane: walk witness packets of every policy along
+       every path of its ingress and compare with the big-switch verdict. *)
+    let ns = Netsim.make inst.Instance.net (Switch_api.snapshot t.api) in
+    let live_ok =
+      List.for_all
+        (fun (i, q) ->
+          let probes = take 16 (Acl.Policy.witness_packets q) in
+          List.for_all
+            (fun (p : Routing.Path.t) ->
+              List.for_all
+                (fun pkt ->
+                  (not (Ternary.Field.matches p.Routing.Path.flow pkt))
+                  ||
+                  match (Acl.Policy.evaluate q pkt, Netsim.forward ns p pkt) with
+                  | Acl.Rule.Permit, Netsim.Delivered -> true
+                  | Acl.Rule.Drop, Netsim.Dropped _ -> true
+                  | _ -> false)
+                probes)
+            (Routing.Table.paths_from inst.Instance.routing i))
+        inst.Instance.policies
+    in
+    (* Fail closed: everything a quarantined ingress sends must die. *)
+    let quarantine_ok =
+      List.for_all
+        (fun qr ->
+          List.for_all
+            (fun (p : Routing.Path.t) ->
+              List.for_all
+                (fun pkt ->
+                  match Netsim.forward ns p pkt with
+                  | Netsim.Dropped _ -> true
+                  | Netsim.Delivered -> false)
+                qr.q_probes)
+            qr.q_paths)
+        t.quarantine
+    in
+    solution_ok && live_ok && quarantine_ok
+  with _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                      *)
+
+let handle t event =
+  let t0 = Unix.gettimeofday () in
+  let s = Switch_api.stats t.api in
+  let a0 = s.Switch_api.attempts
+  and f0 = s.Switch_api.failures
+  and o0 = s.Switch_api.timeouts
+  and r0 = s.Switch_api.retries
+  and x0 = s.Switch_api.forced_resyncs in
+  let finish ~rung ~status ~applied ~newq ~verified =
+    let s = Switch_api.stats t.api in
+    {
+      Report.event = Event.describe event;
+      rung;
+      solve_status = status;
+      applied;
+      newly_quarantined = sort_uniq newq;
+      quarantined = quarantined t;
+      verified;
+      entries = live_entries t;
+      attempts = s.Switch_api.attempts - a0;
+      failures = s.Switch_api.failures - f0;
+      timeouts = s.Switch_api.timeouts - o0;
+      retries = s.Switch_api.retries - r0;
+      forced_resyncs = s.Switch_api.forced_resyncs - x0;
+      wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  match plan t event with
+  | Error reason ->
+    finish ~rung:Report.Noop ~status:("rejected: " ^ reason)
+      ~applied:Report.Kept_last_good ~newq:[] ~verified:(verify t)
+  | Ok goal -> (
+    match solve_target t goal ~t0 with
+    | None ->
+      (* Every solve rung failed: fail closed. *)
+      let newq = quarantine_now t goal in
+      finish ~rung:Report.Quarantine ~status:"exhausted"
+        ~applied:Report.Kept_last_good ~newq ~verified:(verify t)
+    | Some (rung, status, sol) ->
+      let placed = List.map fst goal.sub_policies in
+      let keep_q =
+        List.filter
+          (fun q ->
+            not
+              (List.mem q.q_ingress placed || List.mem q.q_ingress goal.release))
+          t.quarantine
+      in
+      let fresh =
+        List.filter (fun i -> not (in_quarantine t i)) goal.unroutable
+      in
+      let q' = keep_q @ List.map (fenced_record t goal) fresh in
+      (* An event whose only effect is fencing is a quarantine
+         transition, whatever trivial rung "solved" it. *)
+      let rung =
+        if goal.sub_policies = [] && goal.unroutable <> [] then Report.Quarantine
+        else rung
+      in
+      match Transaction.apply ~api:t.api ~target:(target_tables t sol q') with
+      | Transaction.Committed ->
+        t.good <- sol;
+        t.quarantine <- q';
+        finish ~rung ~status ~applied:Report.Committed
+          ~newq:(List.map (fun q -> q.q_ingress) (List.filter (fun q -> List.mem q.q_ingress fresh) q'))
+          ~verified:(verify t)
+      | Transaction.Rolled_back { switch; op } ->
+        (* Tables are byte-identical to the pre-event state; fail closed
+           on everything the event touched. *)
+        let newq = quarantine_now t goal in
+        finish ~rung ~status
+          ~applied:(Report.Rolled_back (Printf.sprintf "%s@%d" op switch))
+          ~newq ~verified:(verify t))
+
+let run t events = List.map (handle t) events

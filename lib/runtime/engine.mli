@@ -1,0 +1,78 @@
+(** The fault-tolerant reconciliation loop.
+
+    The engine owns the controller's view of a running network: a
+    last-known-good {!Placement.Solution}, the live per-switch tables
+    behind a fault-injectable {!Switch_api}, and the set of quarantined
+    ingresses.  {!handle} absorbs one {!Event} under a wall-clock
+    deadline by walking the {b graceful-degradation ladder}:
+
+    + {b incremental} — a deadline-bounded {!Placement.Incremental}
+      sub-solve (half the event budget): frozen placements stay, only
+      the affected ingresses move;
+    + {b full re-solve} — a from-scratch {!Placement.Solve.run} with
+      whatever budget remains, using the configured engine (the
+      portfolio when [jobs > 1]);
+    + {b greedy} — the {!Placement.Baseline} ingress-first heuristic,
+      effectively instant;
+    + {b quarantine} — fail closed: the last-good tables stay, the
+      affected ingresses are fenced with a highest-priority DROP-any
+      entry at their attachment switch, and the event is recorded as
+      degraded.
+
+    Whichever rung produces a placement, the table delta is applied as a
+    two-phase add-before-delete {!Transaction}; an unrecoverable switch
+    failure rolls the tables back to the pre-event state and drops to
+    the quarantine rung.  After {e every} event the active placement is
+    re-verified ({!Placement.Verify} structural + semantic, a packet
+    walk of the {e live} tables against every policy, and a fail-closed
+    check that quarantined ingresses' packets are dropped); the result
+    lands in the event's {!Report}.
+
+    Determinism: all randomness (fault draws, backoff jitter, re-routing
+    path choice, verification probes) flows from seeds fixed at
+    {!create}, so equal seeds and equal event streams give equal report
+    {!Report.signature} sequences. *)
+
+type config = {
+  deadline_s : float;  (** per-event wall-clock budget (default 30) *)
+  solve_options : Placement.Solve.options;
+      (** solver options for the incremental and full rungs *)
+  rungs : Report.rung list;
+      (** enabled {e solve} rungs, tried in ladder order; quarantine is
+          always available as the floor (default: incremental,
+          full-resolve, greedy) *)
+  switch_config : Switch_api.config;  (** retry/backoff policy *)
+  verify_samples : int;  (** random probe packets per path (default 10) *)
+  verify_seed : int;  (** seed for verification + re-routing draws *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:config -> ?fault:Fault_plan.t -> Placement.Solution.t -> t
+(** Boots the runtime from an initial placement: the live tables are the
+    solution's tables ({!Placement.Tables.to_netsim}), nothing is
+    quarantined, nothing is dead. *)
+
+val good : t -> Placement.Solution.t
+(** The last-known-good placement (instance included). *)
+
+val netsim : t -> Netsim.t
+(** The live data plane as a simulator (snapshot). *)
+
+val live_entries : t -> int
+(** Total entries currently installed. *)
+
+val quarantined : t -> int list
+(** Fenced ingresses, ascending. *)
+
+val dead_switches : t -> int list
+
+val handle : t -> Event.t -> Report.t
+(** Absorb one event.  Never raises on malformed events (they are
+    rejected in the report); never leaves the tables torn. *)
+
+val run : t -> Event.t list -> Report.t list
+(** [handle] in sequence, reports in event order. *)

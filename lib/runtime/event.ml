@@ -1,0 +1,30 @@
+type t =
+  | Install of {
+      ingress : int;
+      policy : Acl.Policy.t;
+      paths : Routing.Path.t list;
+    }
+  | Reroute of { ingresses : int list; paths : Routing.Path.t list }
+  | Update_policy of { ingress : int; policy : Acl.Policy.t }
+  | Remove of { ingresses : int list }
+  | Switch_fail of { switch : int }
+  | Link_fail of { u : int; v : int }
+  | Capacity_shrink of { switch : int; capacity : int }
+
+let ints is = String.concat "," (List.map string_of_int is)
+
+let describe = function
+  | Install { ingress; policy; paths } ->
+    Printf.sprintf "install(ingress=%d, rules=%d, paths=%d)" ingress
+      (Acl.Policy.size policy) (List.length paths)
+  | Reroute { ingresses; paths } ->
+    Printf.sprintf "reroute(ingresses=[%s], paths=%d)" (ints ingresses)
+      (List.length paths)
+  | Update_policy { ingress; policy } ->
+    Printf.sprintf "update_policy(ingress=%d, rules=%d)" ingress
+      (Acl.Policy.size policy)
+  | Remove { ingresses } -> Printf.sprintf "remove(ingresses=[%s])" (ints ingresses)
+  | Switch_fail { switch } -> Printf.sprintf "switch_fail(switch=%d)" switch
+  | Link_fail { u; v } -> Printf.sprintf "link_fail(%d-%d)" u v
+  | Capacity_shrink { switch; capacity } ->
+    Printf.sprintf "capacity_shrink(switch=%d, capacity=%d)" switch capacity

@@ -1,0 +1,30 @@
+(** Network events the reconciliation loop absorbs.
+
+    Each constructor is one of the dynamic changes the paper's
+    Section IV-E incremental formulation exists for (tenant churn,
+    policy edits, routing changes) plus the infrastructure faults a
+    running controller must survive (switch/link loss, TCAM capacity
+    shrink).  Events carry everything the runtime needs to recompute a
+    consistent placement; they never mutate anything themselves. *)
+
+type t =
+  | Install of {
+      ingress : int;
+      policy : Acl.Policy.t;
+      paths : Routing.Path.t list;
+    }  (** tenant arrival: a new ingress policy with its routed paths *)
+  | Reroute of { ingresses : int list; paths : Routing.Path.t list }
+      (** the routing module moved these ingresses onto new paths *)
+  | Update_policy of { ingress : int; policy : Acl.Policy.t }
+      (** rule addition/removal/modification at one ingress *)
+  | Remove of { ingresses : int list }  (** tenant departure *)
+  | Switch_fail of { switch : int }
+      (** the switch is lost: its TCAM is gone and no path may cross it *)
+  | Link_fail of { u : int; v : int }
+      (** the link is lost: paths over it must be re-routed *)
+  | Capacity_shrink of { switch : int; capacity : int }
+      (** the switch's ACL TCAM budget drops (e.g. other tables grew) *)
+
+val describe : t -> string
+(** Deterministic one-line label (no timestamps, no addresses) used in
+    transition reports and replay logs. *)

@@ -1,0 +1,44 @@
+type rung = Noop | Incremental | Full_resolve | Greedy | Quarantine
+
+let rung_name = function
+  | Noop -> "noop"
+  | Incremental -> "incremental"
+  | Full_resolve -> "full-resolve"
+  | Greedy -> "greedy"
+  | Quarantine -> "quarantine"
+
+type applied = Committed | Rolled_back of string | Kept_last_good
+
+let applied_name = function
+  | Committed -> "committed"
+  | Rolled_back op -> "rolled-back:" ^ op
+  | Kept_last_good -> "kept-last-good"
+
+type t = {
+  event : string;
+  rung : rung;
+  solve_status : string;
+  applied : applied;
+  newly_quarantined : int list;
+  quarantined : int list;
+  verified : bool;
+  entries : int;
+  attempts : int;
+  failures : int;
+  timeouts : int;
+  retries : int;
+  forced_resyncs : int;
+  wall_s : float;
+}
+
+let signature r =
+  Printf.sprintf
+    "%s | rung=%s status=%s applied=%s newq=[%s] q=[%s] verified=%b \
+     entries=%d ops=%d/%d/%d/%d resync=%d"
+    r.event (rung_name r.rung) r.solve_status (applied_name r.applied)
+    (String.concat "," (List.map string_of_int r.newly_quarantined))
+    (String.concat "," (List.map string_of_int r.quarantined))
+    r.verified r.entries r.attempts r.failures r.timeouts r.retries
+    r.forced_resyncs
+
+let pp fmt r = Format.fprintf fmt "%s (%.3fs)" (signature r) r.wall_s

@@ -1,0 +1,52 @@
+(** Structured transition reports: one per absorbed event.
+
+    The report names the {e rung} of the graceful-degradation ladder
+    that produced the transition, how the data-plane write went, what
+    got quarantined and whether post-event verification passed —
+    everything an operator (or a test) needs to audit how the runtime
+    degraded under pressure.
+
+    {!signature} renders every deterministic field and nothing else (no
+    wall-clock durations), so two chaos runs from the same seed must
+    produce identical signature sequences — the replayability contract
+    the test suite enforces. *)
+
+type rung =
+  | Noop  (** pure bookkeeping (e.g. a capacity shrink that still fits) *)
+  | Incremental  (** deadline-bounded {!Placement.Incremental} sub-solve *)
+  | Full_resolve  (** from-scratch re-solve with the remaining budget *)
+  | Greedy  (** {!Placement.Baseline} ingress-first heuristic *)
+  | Quarantine
+      (** fail closed: last-good tables kept, affected ingresses fenced *)
+
+val rung_name : rung -> string
+
+type applied =
+  | Committed  (** transaction committed *)
+  | Rolled_back of string  (** unrecoverable install/delete; which op *)
+  | Kept_last_good  (** no transaction attempted (quarantine / noop) *)
+
+val applied_name : applied -> string
+
+type t = {
+  event : string;  (** {!Event.describe} of the absorbed event *)
+  rung : rung;
+  solve_status : string;  (** final solver status on that rung, or "-" *)
+  applied : applied;
+  newly_quarantined : int list;  (** ingresses this event fenced *)
+  quarantined : int list;  (** total under quarantine afterwards *)
+  verified : bool;  (** post-event placement + forwarding checks *)
+  entries : int;  (** live data-plane entries after the event *)
+  attempts : int;  (** switch operations sent (retries included) *)
+  failures : int;  (** injected failures observed *)
+  timeouts : int;  (** injected timeouts observed *)
+  retries : int;
+  forced_resyncs : int;
+  wall_s : float;  (** event handling time — excluded from {!signature} *)
+}
+
+val signature : t -> string
+(** Canonical timing-free rendering; equal seeds must give equal
+    signature sequences. *)
+
+val pp : Format.formatter -> t -> unit

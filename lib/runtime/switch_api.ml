@@ -1,0 +1,96 @@
+type config = {
+  max_retries : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+}
+
+let default_config = { max_retries = 4; base_backoff_s = 0.01; max_backoff_s = 1.0 }
+
+type stats = {
+  mutable attempts : int;
+  mutable failures : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable gave_up : int;
+  mutable forced_resyncs : int;
+  mutable backoff_s : float;
+}
+
+type t = {
+  live : Netsim.entry list array;
+  fault : Fault_plan.t;
+  config : config;
+  stats : stats;
+}
+
+let create ?(config = default_config) ~fault live =
+  {
+    live;
+    fault;
+    config;
+    stats =
+      {
+        attempts = 0;
+        failures = 0;
+        timeouts = 0;
+        retries = 0;
+        gave_up = 0;
+        forced_resyncs = 0;
+        backoff_s = 0.0;
+      };
+  }
+
+let tables t = t.live
+
+let snapshot t = Array.copy t.live
+
+let stats t = t.stats
+
+(* One operation = up to [1 + max_retries] attempts under exponential
+   backoff with jitter.  Delays are accounted, not slept: the runtime
+   handles events under a wall-clock deadline and must not burn it
+   waiting on a switch the fault plan scripted to misbehave. *)
+let attempt t ~switch apply =
+  let rec go tries backoff =
+    t.stats.attempts <- t.stats.attempts + 1;
+    match Fault_plan.draw t.fault ~switch with
+    | Fault_plan.Ok ->
+      apply ();
+      true
+    | (Fault_plan.Fail | Fault_plan.Timeout) as o ->
+      (match o with
+      | Fault_plan.Fail -> t.stats.failures <- t.stats.failures + 1
+      | _ -> t.stats.timeouts <- t.stats.timeouts + 1);
+      if tries >= t.config.max_retries then begin
+        t.stats.gave_up <- t.stats.gave_up + 1;
+        false
+      end
+      else begin
+        t.stats.retries <- t.stats.retries + 1;
+        t.stats.backoff_s <-
+          t.stats.backoff_s +. (backoff *. Fault_plan.jitter t.fault);
+        go (tries + 1) (Float.min t.config.max_backoff_s (2.0 *. backoff))
+      end
+  in
+  go 0 t.config.base_backoff_s
+
+let install t ~switch entry =
+  attempt t ~switch (fun () -> t.live.(switch) <- t.live.(switch) @ [ entry ])
+
+(* Remove exactly one structurally equal entry (the first). *)
+let remove_first entry table =
+  let rec go = function
+    | [] -> None
+    | e :: rest when e = entry -> Some rest
+    | e :: rest -> Option.map (fun r -> e :: r) (go rest)
+  in
+  go table
+
+let delete t ~switch entry =
+  match remove_first entry t.live.(switch) with
+  | None -> true (* idempotent: nothing to delete *)
+  | Some without -> attempt t ~switch (fun () -> t.live.(switch) <- without)
+
+let force_set t ~switch table =
+  t.stats.forced_resyncs <- t.stats.forced_resyncs + 1;
+  t.live.(switch) <- table

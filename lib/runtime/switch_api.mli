@@ -1,0 +1,58 @@
+(** Fault-injectable per-switch table programming with bounded retry.
+
+    This is the runtime's only write path to the data plane: single-entry
+    install/delete operations against a live table array, each of which
+    the {!Fault_plan} may reject or time out.  A failed operation is
+    retried up to [max_retries] times under exponential backoff with
+    jitter (delays are {e simulated} — accumulated into {!stats}, never
+    slept — so chaos runs stay fast and deterministic); an operation
+    that exhausts its retries reports failure to the caller, which is
+    what triggers transactional rollback one layer up.
+
+    [force_set] models a controller-driven full-table resync: it bypasses
+    fault injection entirely.  It is reserved for restoring a known-good
+    snapshot (rollback's last resort) and for quarantine fencing, the
+    two places where the runtime must win. *)
+
+type config = {
+  max_retries : int;  (** retries beyond the first attempt (default 4) *)
+  base_backoff_s : float;  (** first retry delay (default 0.01) *)
+  max_backoff_s : float;  (** backoff ceiling (default 1.0) *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable attempts : int;  (** operations sent, retries included *)
+  mutable failures : int;  (** attempts the plan rejected *)
+  mutable timeouts : int;  (** attempts the plan timed out *)
+  mutable retries : int;  (** re-sends after a failed attempt *)
+  mutable gave_up : int;  (** operations that exhausted their retries *)
+  mutable forced_resyncs : int;  (** [force_set] calls *)
+  mutable backoff_s : float;  (** total simulated backoff delay *)
+}
+
+type t
+
+val create : ?config:config -> fault:Fault_plan.t -> Netsim.entry list array -> t
+(** Wraps the given live tables; the array is owned by the API from then
+    on and mutated in place. *)
+
+val tables : t -> Netsim.entry list array
+(** The live tables (the caller must not mutate them directly). *)
+
+val snapshot : t -> Netsim.entry list array
+(** Deep-enough copy: a fresh array of the per-switch entry lists. *)
+
+val stats : t -> stats
+
+val install : t -> switch:int -> Netsim.entry -> bool
+(** Append the entry to the switch's table (retrying on faults); [false]
+    when the operation ultimately failed. *)
+
+val delete : t -> switch:int -> Netsim.entry -> bool
+(** Remove the first structurally equal entry.  Deleting an absent entry
+    succeeds without consuming a fault draw (idempotent delete). *)
+
+val force_set : t -> switch:int -> Netsim.entry list -> unit
+(** Controller resync: overwrite the switch's table, no faults. *)

@@ -1,0 +1,29 @@
+(** Two-phase table updates with rollback.
+
+    Moving the data plane from its current tables to a target is done
+    add-before-delete: phase one installs every entry the target adds,
+    phase two deletes every entry it drops.  Between the phases the
+    tables hold a superset of both placements, so no packet a correct
+    placement would drop can slip through mid-transition (transient
+    extra drops of the outgoing placement are the safe direction for a
+    firewall).  On commit each touched switch's table is set to the
+    exact target order — the per-entry operations decide {e admission},
+    the final write fixes {e priority order}, mirroring how a
+    controller rewrites TCAM priorities after the content settles.
+
+    If any operation exhausts its retries the transaction rolls back:
+    compensating deletes/installs undo the applied operations (these
+    also run through the fault-injected API — a rollback may itself
+    struggle), and any switch whose compensation fails is force-resynced
+    from the pre-transaction snapshot.  Either way the tables end
+    byte-identical to their pre-transaction state. *)
+
+type outcome =
+  | Committed
+  | Rolled_back of { switch : int; op : string }
+      (** first unrecoverable operation: which switch and ["install"] /
+          ["delete"] *)
+
+val apply : api:Switch_api.t -> target:Netsim.entry list array -> outcome
+(** Raises [Invalid_argument] when the target's switch count differs
+    from the live tables'. *)

@@ -26,5 +26,6 @@ let () =
       ("verify-negative", Test_verify_negative.suite);
       ("sat-opt", Test_sat_opt.suite);
       ("portfolio", Test_portfolio.suite);
+      ("runtime", Test_runtime.suite);
       ("properties", Test_properties.suite);
     ]

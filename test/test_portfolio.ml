@@ -170,6 +170,37 @@ let test_race_cancels_loser () =
       (spin.Portfolio.result = `Cancelled && not spin.Portfolio.definitive)
   | _ -> Alcotest.fail "race lost a finish"
 
+(* A [definitive] callback that raises is an entrant failure like any
+   other: the token must fire (or the spinning loser would never stop —
+   with the calling domain dead, a leaked domain and a lost exception)
+   and every domain must be joined before the exception re-raises. *)
+let test_race_definitive_exception_cancels () =
+  let spin_finished = Atomic.make false in
+  (match
+     Portfolio.race
+       ~definitive:(fun r ->
+         match r with `Boom -> failwith "judge" | `Cancelled -> false)
+       [
+         { Portfolio.name = "boom"; run = (fun ~cancel:_ -> `Boom) };
+         {
+           Portfolio.name = "spin";
+           run =
+             (fun ~cancel ->
+               while not (cancel ()) do
+                 Domain.cpu_relax ()
+               done;
+               Atomic.set spin_finished true;
+               `Cancelled);
+         };
+       ]
+   with
+  | _ -> Alcotest.fail "judge exception swallowed"
+  | exception Failure msg -> Alcotest.(check string) "re-raised" "judge" msg);
+  (* Returning at all proves the spinner observed the token and its
+     domain was joined; the flag proves it ran to completion. *)
+  Alcotest.(check bool) "loser unblocked and joined" true
+    (Atomic.get spin_finished)
+
 let test_race_propagates_exception () =
   match
     Portfolio.race
@@ -230,6 +261,8 @@ let suite =
     Alcotest.test_case "race cancels the loser" `Quick test_race_cancels_loser;
     Alcotest.test_case "race re-raises entrant exceptions" `Quick
       test_race_propagates_exception;
+    Alcotest.test_case "race survives a raising definitive callback" `Quick
+      test_race_definitive_exception_cancels;
     Alcotest.test_case "jobs=1 is the sequential search" `Quick
       test_jobs1_is_sequential;
     Alcotest.test_case "portfolio jobs=1 degrades to ILP" `Quick

@@ -1,0 +1,360 @@
+(* The fault-tolerant controller runtime: degradation-ladder rungs,
+   transactional rollback, quarantine fencing, retry/backoff accounting
+   and seeded replayability. *)
+open Placement
+open Runtime
+
+let entry tag p =
+  {
+    Netsim.tags = [ tag ];
+    rule =
+      Acl.Rule.make ~field:Ternary.Field.any ~action:Acl.Rule.Permit ~priority:p;
+  }
+
+(* Two disjoint switch paths between the host pairs: failures can be
+   routed around. *)
+let diamond () =
+  Topo.Net.create ~num_switches:4
+    ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+    ~host_attach:[| 0; 3; 0; 3 |] ()
+
+(* No alternative paths: failures can only be quarantined. *)
+let chain () =
+  Topo.Net.create ~num_switches:3
+    ~edges:[ (0, 1); (1, 2) ]
+    ~host_attach:[| 0; 2 |] ()
+
+let test_config ?rungs () =
+  let rungs = Option.value rungs ~default:Engine.default_config.Engine.rungs in
+  {
+    Engine.default_config with
+    Engine.solve_options = Test_placement.solve_opts ();
+    rungs;
+  }
+
+let empty_engine ?config ?fault ?(capacity = 10) net =
+  let inst =
+    Instance.make ~net ~routing:(Routing.Table.of_paths []) ~policies:[]
+      ~capacities:(Instance.uniform_capacity net capacity)
+  in
+  Engine.create ?config ?fault (Solution.empty inst)
+
+let tenant_policy () =
+  Acl.Policy.of_fields
+    [
+      (Util.field ~src:"10.1.0.0/16" (), Acl.Rule.Permit);
+      (Util.field ~dst:"10.0.1.0/24" (), Acl.Rule.Drop);
+    ]
+
+let path ~ingress ~egress switches =
+  Routing.Path.make ~ingress ~egress ~switches ()
+
+let install_event ?(switches = [ 0; 1; 3 ]) () =
+  Event.Install
+    {
+      ingress = 0;
+      policy = tenant_policy ();
+      paths = [ path ~ingress:0 ~egress:1 switches ];
+    }
+
+let check_report ?rung ?applied ?(verified = true) name (r : Report.t) =
+  (match rung with
+  | Some want ->
+    Alcotest.(check string)
+      (name ^ ": rung") (Report.rung_name want) (Report.rung_name r.Report.rung)
+  | None -> ());
+  (match applied with
+  | Some want ->
+    Alcotest.(check string)
+      (name ^ ": applied") (Report.applied_name want)
+      (Report.applied_name r.Report.applied)
+  | None -> ());
+  Alcotest.(check bool) (name ^ ": verified") verified r.Report.verified
+
+(* ------------------------------------------------------------------ *)
+
+let test_install_and_remove () =
+  let eng = empty_engine ~config:(test_config ()) (diamond ()) in
+  let r = Engine.handle eng (install_event ()) in
+  check_report ~rung:Report.Incremental ~applied:Report.Committed "install" r;
+  Alcotest.(check string) "solve status" "optimal" r.Report.solve_status;
+  Alcotest.(check bool) "entries installed" true (Engine.live_entries eng > 0);
+  (* The data plane actually forwards/filters for the new tenant. *)
+  let ns = Engine.netsim eng in
+  let p = path ~ingress:0 ~egress:1 [ 0; 1; 3 ] in
+  let blocked =
+    Ternary.Packet.make ~src:0 ~dst:(10 lsl 24 lor 256) ~sport:1 ~dport:2
+      ~proto:6
+  in
+  (match Netsim.forward ns p blocked with
+  | Netsim.Dropped _ -> ()
+  | Netsim.Delivered -> Alcotest.fail "blacklisted packet delivered");
+  let r = Engine.handle eng (Event.Remove { ingresses = [ 0 ] }) in
+  check_report ~rung:Report.Noop ~applied:Report.Committed "remove" r;
+  Alcotest.(check int) "tables empty again" 0 (Engine.live_entries eng)
+
+let test_rejected_event () =
+  let eng = empty_engine ~config:(test_config ()) (diamond ()) in
+  let r = Engine.handle eng (Event.Remove { ingresses = [ 1 ] }) in
+  check_report ~rung:Report.Noop ~applied:Report.Kept_last_good "rejected" r;
+  Alcotest.(check bool) "status says rejected" true
+    (String.length r.Report.solve_status >= 8
+    && String.sub r.Report.solve_status 0 8 = "rejected")
+
+let test_forced_rungs () =
+  List.iter
+    (fun rung ->
+      let eng =
+        empty_engine ~config:(test_config ~rungs:[ rung ] ()) (diamond ())
+      in
+      let r = Engine.handle eng (install_event ()) in
+      check_report ~rung ~applied:Report.Committed
+        ("forced " ^ Report.rung_name rung)
+        r)
+    [ Report.Incremental; Report.Full_resolve; Report.Greedy ]
+
+let test_ladder_exhausted_quarantines () =
+  (* Zero capacity anywhere: every solve rung fails, the runtime must
+     fail closed. *)
+  let eng = empty_engine ~config:(test_config ()) ~capacity:0 (diamond ()) in
+  let r = Engine.handle eng (install_event ()) in
+  check_report ~rung:Report.Quarantine ~applied:Report.Kept_last_good
+    "exhausted" r;
+  Alcotest.(check (list int)) "newly quarantined" [ 0 ]
+    r.Report.newly_quarantined;
+  (* Fail closed: everything from the fenced ingress dies at its
+     attachment switch, even packets its policy would have permitted. *)
+  let ns = Engine.netsim eng in
+  let p = path ~ingress:0 ~egress:1 [ 0; 1; 3 ] in
+  let permitted =
+    Ternary.Packet.make ~src:(10 lsl 24 lor (1 lsl 16)) ~dst:0 ~sport:9
+      ~dport:9 ~proto:6
+  in
+  (match Netsim.forward ns p permitted with
+  | Netsim.Dropped 0 -> ()
+  | o -> Alcotest.failf "expected drop at switch 0, got %a" Netsim.pp_outcome o)
+
+let test_no_solve_rungs_quarantines () =
+  let eng = empty_engine ~config:(test_config ~rungs:[] ()) (diamond ()) in
+  let r = Engine.handle eng (install_event ()) in
+  check_report ~rung:Report.Quarantine ~applied:Report.Kept_last_good
+    "no rungs" r;
+  Alcotest.(check (list int)) "quarantined" [ 0 ] (Engine.quarantined eng)
+
+let test_switch_fail_reroutes () =
+  let eng = empty_engine ~config:(test_config ()) (diamond ()) in
+  let _ = Engine.handle eng (install_event ()) in
+  (* Kill the middle switch of the tenant's path: the diamond's other
+     branch can carry it. *)
+  let r = Engine.handle eng (Event.Switch_fail { switch = 1 }) in
+  check_report ~applied:Report.Committed "switch fail" r;
+  Alcotest.(check bool) "solved on a real rung" true
+    (match r.Report.rung with
+    | Report.Incremental | Report.Full_resolve | Report.Greedy -> true
+    | _ -> false);
+  Alcotest.(check (list int)) "nothing quarantined" [] (Engine.quarantined eng);
+  Alcotest.(check (list int)) "switch 1 dead" [ 1 ] (Engine.dead_switches eng);
+  (* The rerouted tenant still filters on the surviving branch. *)
+  let good = Engine.good eng in
+  let paths =
+    Routing.Table.paths_from good.Solution.instance.Instance.routing 0
+  in
+  Alcotest.(check bool) "rerouted around switch 1" true
+    (paths <> [] && List.for_all (fun p -> not (Routing.Path.mem p 1)) paths)
+
+let test_quarantine_fails_closed_on_chain () =
+  let eng = empty_engine ~config:(test_config ()) (chain ()) in
+  let r = Engine.handle eng (install_event ~switches:[ 0; 1; 2 ] ()) in
+  check_report ~applied:Report.Committed "install on chain" r;
+  (* No alternative path: losing the egress switch strands the tenant. *)
+  let r = Engine.handle eng (Event.Switch_fail { switch = 2 }) in
+  check_report ~rung:Report.Quarantine "stranded" r;
+  Alcotest.(check (list int)) "quarantined" [ 0 ] (Engine.quarantined eng);
+  let ns = Engine.netsim eng in
+  let p = path ~ingress:0 ~egress:1 [ 0; 1; 2 ] in
+  (match Netsim.forward ns p (Ternary.Packet.make ~src:1 ~dst:2 ~sport:3 ~dport:4 ~proto:17) with
+  | Netsim.Dropped 0 -> ()
+  | o -> Alcotest.failf "expected fence drop at switch 0, got %a" Netsim.pp_outcome o);
+  (* A departing quarantined tenant releases its fence. *)
+  let r = Engine.handle eng (Event.Remove { ingresses = [ 0 ] }) in
+  check_report ~applied:Report.Committed "release" r;
+  Alcotest.(check (list int)) "fence lifted" [] (Engine.quarantined eng)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction-level rollback                                          *)
+
+let test_rollback_byte_identical_on_install_failure () =
+  let fault = Fault_plan.make ~seed:11 () in
+  let live = [| [ entry 0 5 ]; []; [ entry 1 4 ]; [] |] in
+  let api = Switch_api.create ~fault live in
+  let before = Switch_api.snapshot api in
+  (* Adds land on switches 1 then 2; killing 2 fails the second install
+     after the first succeeded — rollback must undo switch 1. *)
+  Fault_plan.mark_dead fault 2;
+  let target = [| [ entry 0 5 ]; [ entry 2 9 ]; [ entry 1 4; entry 3 1 ]; [] |] in
+  (match Transaction.apply ~api ~target with
+  | Transaction.Rolled_back { switch = 2; op = "install" } -> ()
+  | Transaction.Rolled_back { switch; op } ->
+    Alcotest.failf "unexpected rollback point %s@%d" op switch
+  | Transaction.Committed -> Alcotest.fail "expected rollback");
+  Alcotest.(check bool) "tables byte-identical" true
+    (Switch_api.snapshot api = before)
+
+let test_rollback_byte_identical_on_delete_failure () =
+  let fault = Fault_plan.make ~seed:12 () in
+  let live = [| [ entry 0 5 ]; []; [ entry 1 4 ]; [] |] in
+  let api = Switch_api.create ~fault live in
+  let before = Switch_api.snapshot api in
+  (* Both installs succeed; the delete on dead switch 0 cannot — the
+     rollback deletes the installed entries again. *)
+  Fault_plan.mark_dead fault 0;
+  let target = [| []; [ entry 2 9 ]; [ entry 1 4; entry 3 1 ]; [] |] in
+  (match Transaction.apply ~api ~target with
+  | Transaction.Rolled_back { switch = 0; op = "delete" } -> ()
+  | Transaction.Rolled_back { switch; op } ->
+    Alcotest.failf "unexpected rollback point %s@%d" op switch
+  | Transaction.Committed -> Alcotest.fail "expected rollback");
+  Alcotest.(check bool) "tables byte-identical" true
+    (Switch_api.snapshot api = before)
+
+let test_transaction_commit_orders_target () =
+  let api = Switch_api.create ~fault:Fault_plan.none [| [ entry 0 1; entry 1 2 ] |] in
+  let target = [| [ entry 1 2; entry 2 7 ] |] in
+  (match Transaction.apply ~api ~target with
+  | Transaction.Committed -> ()
+  | Transaction.Rolled_back _ -> Alcotest.fail "expected commit");
+  Alcotest.(check bool) "exact target order" true
+    ((Switch_api.tables api).(0) = target.(0))
+
+let test_engine_rollback_quarantines () =
+  (* Every install attempt on every switch fails: the install event's
+     transaction must roll back and the tenant must end up fenced, with
+     the pre-event (empty) tables intact. *)
+  let fault = Fault_plan.make ~seed:5 () in
+  let net = diamond () in
+  let eng = empty_engine ~config:(test_config ()) ~fault net in
+  Fault_plan.fail_next fault 1000;
+  let r = Engine.handle eng (install_event ()) in
+  (match r.Report.applied with
+  | Report.Rolled_back _ -> ()
+  | a -> Alcotest.failf "expected rollback, got %s" (Report.applied_name a));
+  Alcotest.(check bool) "verified after rollback" true r.Report.verified;
+  Alcotest.(check (list int)) "tenant fenced" [ 0 ] (Engine.quarantined eng);
+  Alcotest.(check bool) "retries were spent" true (r.Report.retries > 0);
+  (* Only the forced fence remains; every transactional write was
+     undone. *)
+  Alcotest.(check int) "only the fence installed" 1 (Engine.live_entries eng)
+
+(* ------------------------------------------------------------------ *)
+(* Retry/backoff accounting                                            *)
+
+let test_retry_backoff_accounting () =
+  let fault = Fault_plan.make ~fail_rate:0.3 ~timeout_rate:0.2 ~seed:21 () in
+  let api = Switch_api.create ~fault [| [] |] in
+  for p = 1 to 30 do
+    ignore (Switch_api.install api ~switch:0 (entry 0 p))
+  done;
+  let s = Switch_api.stats api in
+  Alcotest.(check int) "attempts = ops + retries" (30 + s.Switch_api.retries)
+    s.Switch_api.attempts;
+  Alcotest.(check bool) "faults observed" true
+    (s.Switch_api.failures + s.Switch_api.timeouts > 0);
+  Alcotest.(check bool) "retries happened" true (s.Switch_api.retries > 0);
+  Alcotest.(check bool) "backoff accumulated" true (s.Switch_api.backoff_s > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-bounded incremental solves                                 *)
+
+let test_incremental_deadline_prompt () =
+  let eng = empty_engine ~config:(test_config ()) (diamond ()) in
+  let _ = Engine.handle eng (install_event ()) in
+  let base = Engine.good eng in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Incremental.install
+      ~options:(Test_placement.solve_opts ())
+      ~deadline:(t0 -. 1.0) (* already expired *)
+      ~base
+      ~policies:[ (2, tenant_policy ()) ]
+      ~paths:[ path ~ingress:2 ~egress:3 [ 0; 2; 3 ] ]
+      ()
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "returns promptly" true (elapsed < 5.0);
+  (* An expired deadline may still return the warm-start incumbent, but
+     can never block or crash. *)
+  ignore r.Incremental.status
+
+let test_incremental_cancel () =
+  let eng = empty_engine ~config:(test_config ()) (diamond ()) in
+  let _ = Engine.handle eng (install_event ()) in
+  let base = Engine.good eng in
+  let r =
+    Incremental.install
+      ~options:(Test_placement.solve_opts ())
+      ~cancel:(fun () -> true)
+      ~base
+      ~policies:[ (2, tenant_policy ()) ]
+      ~paths:[ path ~ingress:2 ~egress:3 [ 0; 2; 3 ] ]
+      ()
+  in
+  ignore r.Incremental.status
+
+(* ------------------------------------------------------------------ *)
+(* Seeded chaos: replayability and per-event verification              *)
+
+let chaos_run ~seed n =
+  let fault = Fault_plan.make ~fail_rate:0.12 ~timeout_rate:0.08 ~seed () in
+  let eng = empty_engine ~config:(test_config ()) ~fault (diamond ()) in
+  let churn = Churn.make ~rules:4 ~seed:(seed * 7 + 1) () in
+  Churn.drive churn eng n
+
+let test_chaos_verified () =
+  let reports = chaos_run ~seed:3 30 in
+  Alcotest.(check int) "all events reported" 30 (List.length reports);
+  List.iteri
+    (fun i (r : Report.t) ->
+      if not r.Report.verified then
+        Alcotest.failf "event %d failed verification: %s" i (Report.signature r))
+    reports
+
+let test_chaos_deterministic () =
+  let sigs n = List.map Report.signature (chaos_run ~seed:9 n) in
+  Alcotest.(check (list string)) "same seed, same transition reports"
+    (sigs 25) (sigs 25)
+
+let suite =
+  [
+    Alcotest.test_case "install then remove round-trips" `Quick
+      test_install_and_remove;
+    Alcotest.test_case "malformed events are rejected, state kept" `Quick
+      test_rejected_event;
+    Alcotest.test_case "each solve rung can carry an event" `Quick
+      test_forced_rungs;
+    Alcotest.test_case "exhausted ladder fails closed" `Quick
+      test_ladder_exhausted_quarantines;
+    Alcotest.test_case "empty ladder quarantines immediately" `Quick
+      test_no_solve_rungs_quarantines;
+    Alcotest.test_case "switch failure reroutes the tenant" `Quick
+      test_switch_fail_reroutes;
+    Alcotest.test_case "stranded tenant is fenced, then released" `Quick
+      test_quarantine_fails_closed_on_chain;
+    Alcotest.test_case "rollback on install failure is byte-identical" `Quick
+      test_rollback_byte_identical_on_install_failure;
+    Alcotest.test_case "rollback on delete failure is byte-identical" `Quick
+      test_rollback_byte_identical_on_delete_failure;
+    Alcotest.test_case "commit writes the exact target order" `Quick
+      test_transaction_commit_orders_target;
+    Alcotest.test_case "engine rollback fences the tenant" `Quick
+      test_engine_rollback_quarantines;
+    Alcotest.test_case "retry/backoff accounting adds up" `Quick
+      test_retry_backoff_accounting;
+    Alcotest.test_case "expired deadline returns promptly" `Quick
+      test_incremental_deadline_prompt;
+    Alcotest.test_case "cancel hook reaches the sub-solve" `Quick
+      test_incremental_cancel;
+    Alcotest.test_case "chaos run verifies after every event" `Slow
+      test_chaos_verified;
+    Alcotest.test_case "chaos run replays from its seed" `Slow
+      test_chaos_deterministic;
+  ]
