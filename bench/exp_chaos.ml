@@ -139,3 +139,182 @@ let run ~title ~seed ~events ~jobs ~time_limit () =
     end;
     Printf.printf "chaos: all %d transitions verified in %ss\n"
       (List.length reports) (Harness.sec t_run)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-recovery soak: the same churn stream driven through the
+   journaled engine, but a seeded schedule keeps pulling the plug — at
+   every kill point of the write-ahead protocol, sometimes tearing the
+   last durable bytes off the log for good measure — and recovering.
+   Because all engine randomness is persisted, the crashed-and-recovered
+   run must end with byte-identical tables and the byte-identical report
+   signature sequence of a reference run that never crashed; any
+   divergence fails the bench, which is what the CI crash-recovery lane
+   trips on. *)
+
+let crash_soak ~title ~seed ~events ~time_limit () =
+  let family =
+    {
+      Workload.default with
+      Workload.num_policies = 5;
+      rules = 6;
+      paths = 20;
+      capacity = 40;
+      seed;
+    }
+  in
+  let inst = Workload.build family in
+  let options =
+    Placement.Solve.options
+      ~ilp_config:{ Ilp.Solver.default_config with time_limit }
+      ()
+  in
+  let report = Placement.Solve.run ~options inst in
+  match report.Placement.Solve.solution with
+  | None ->
+    Printf.printf "\n== %s ==\nbase instance unsolved (%s); skipped\n" title
+      (Harness.status_short report.Placement.Solve.status)
+  | Some initial ->
+    Printf.printf "\n== %s ==\n%d events, seed %d\n" title events seed;
+    let config =
+      {
+        Runtime.Engine.default_config with
+        Runtime.Engine.deadline_s = 10.0;
+        solve_options = options;
+      }
+    in
+    let fault () =
+      Runtime.Fault_plan.make ~fail_rate:0.15 ~timeout_rate:0.08 ~seed ()
+    in
+    let churn_seed = (seed * 13) + 5 in
+    (* Reference: the identical run, never crashed, never journaled. *)
+    let ref_eng = Runtime.Engine.create ~config ~fault:(fault ()) initial in
+    let ref_churn = Runtime.Churn.make ~rules:6 ~seed:churn_seed () in
+    let ref_reports, t_ref =
+      Harness.wall (fun () -> Runtime.Churn.drive ref_churn ref_eng events)
+    in
+    (* Crashing run: journaled, killed on a seeded schedule, recovered. *)
+    let store, mem = Journal.Store.memory () in
+    let plan = Prng.create ((seed * 41) + 11) in
+    let armed = ref None in
+    let kill kp =
+      match !armed with
+      | Some (target, countdown) when kp = target ->
+        let fire =
+          if kp = Journal.Journaled.Mid_apply then begin
+            decr countdown;
+            !countdown <= 0
+          end
+          else true
+        in
+        if fire then begin
+          armed := None;
+          raise
+            (Journal.Journaled.Killed (Journal.Journaled.kill_point_name kp))
+        end
+      | _ -> ()
+    in
+    let journal = { Journal.Journaled.snapshot_every = 4 } in
+    let j =
+      ref
+        (Journal.Journaled.create ~config ~journal ~fault:(fault ()) ~kill
+           ~store initial)
+    in
+    let churn = ref (Runtime.Churn.make ~rules:6 ~seed:churn_seed ()) in
+    let by_seq = Hashtbl.create events in
+    let crashes = ref 0 and torn = ref 0 and truncated = ref 0 in
+    let kp_counts = Hashtbl.create 8 in
+    let steps = ref 0 in
+    let _, t_run =
+      Harness.wall (fun () ->
+          while Journal.Journaled.seq !j < events do
+            incr steps;
+            if !steps > events * 30 then begin
+              Printf.printf "crash-soak: no progress after %d steps\n" !steps;
+              exit 1
+            end;
+            (* Arm roughly one crash every three events, cycling through
+               the kill points. *)
+            if !armed = None && Prng.int plan 3 = 0 then
+              armed :=
+                Some
+                  ( Prng.choose_list plan Journal.Journaled.all_kill_points,
+                    ref (1 + Prng.int plan 5) );
+            let ev = Runtime.Churn.next !churn (Journal.Journaled.engine !j) in
+            let client = Runtime.Churn.capture !churn in
+            match Journal.Journaled.handle ~client !j ev with
+            | r -> Hashtbl.replace by_seq (Journal.Journaled.seq !j) r
+            | exception Journal.Journaled.Killed point -> (
+              incr crashes;
+              Hashtbl.replace kp_counts point
+                (1 + Option.value ~default:0 (Hashtbl.find_opt kp_counts point));
+              (* Sometimes the power cut also tears the tail of the last
+                 durable write. *)
+              if Prng.int plan 2 = 0 then begin
+                incr torn;
+                Journal.Store.chop mem (1 + Prng.int plan 40)
+              end;
+              match Journal.Journaled.recover ~config ~journal ~kill ~store () with
+              | Error msg ->
+                Printf.printf "crash-soak: recovery failed after %s crash: %s\n"
+                  point msg;
+                exit 1
+              | Ok rcv ->
+                if rcv.Journal.Journaled.divergences <> [] then begin
+                  List.iter
+                    (Printf.printf "  divergence: %s\n")
+                    rcv.Journal.Journaled.divergences;
+                  Printf.printf "crash-soak: recovery diverged after %s crash\n"
+                    point;
+                  exit 1
+                end;
+                truncated := !truncated + rcv.Journal.Journaled.dropped_bytes;
+                List.iter
+                  (fun (s, r) -> Hashtbl.replace by_seq s r)
+                  rcv.Journal.Journaled.replayed;
+                j := rcv.Journal.Journaled.journaled;
+                churn :=
+                  (match rcv.Journal.Journaled.client with
+                  | Some blob -> Runtime.Churn.restore blob
+                  | None -> Runtime.Churn.make ~rules:6 ~seed:churn_seed ()))
+          done)
+    in
+    Harness.print_table ~title:"crashes by kill point"
+      ~headers:[ "kill point"; "crashes" ]
+      (List.map
+         (fun kp ->
+           let name = Journal.Journaled.kill_point_name kp in
+           [ name; string_of_int (Option.value ~default:0 (Hashtbl.find_opt kp_counts name)) ])
+         Journal.Journaled.all_kill_points);
+    Printf.printf
+      "%d crashes (%d with torn tails, %d journal bytes truncated), all \
+       recovered\n"
+      !crashes !torn !truncated;
+    let mismatches = ref 0 in
+    List.iteri
+      (fun i ref_r ->
+        let want = Runtime.Report.signature ref_r in
+        let got =
+          match Hashtbl.find_opt by_seq (i + 1) with
+          | Some r -> Runtime.Report.signature r
+          | None -> "<missing>"
+        in
+        if got <> want then begin
+          incr mismatches;
+          Printf.printf "MISMATCH event %d:\n  reference %s\n  recovered %s\n"
+            (i + 1) want got
+        end)
+      ref_reports;
+    let tables_equal =
+      Runtime.Engine.table_snapshot (Journal.Journaled.engine !j)
+      = Runtime.Engine.table_snapshot ref_eng
+    in
+    if not tables_equal then
+      Printf.printf "MISMATCH: final tables differ from the uncrashed run\n";
+    if !mismatches > 0 || not tables_equal then begin
+      Printf.printf "crash-soak: recovered run DIVERGED from reference\n";
+      exit 1
+    end;
+    Printf.printf
+      "crash-soak: %d events byte-identical to the uncrashed reference \
+       (tables + signatures) in %ss (reference %ss)\n"
+      events (Harness.sec t_run) (Harness.sec t_ref)

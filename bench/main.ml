@@ -7,7 +7,7 @@
                                       [--jobs N] [--seed N]
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
-                                              portfolio|chaos] *)
+                                              portfolio|chaos|crash] *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -16,7 +16,7 @@ let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 let no_micro = smoke || Array.exists (( = ) "--no-micro") Sys.argv
 
 (* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
-   table2 exp5 s1 b1 ablations portfolio chaos); repeatable. *)
+   table2 exp5 s1 b1 ablations portfolio chaos crash); repeatable. *)
 let only =
   let rec collect i acc =
     if i >= Array.length Sys.argv then acc
@@ -138,6 +138,17 @@ let run_experiments () =
       ~seed
       ~events:(if smoke then 60 else 100)
       ~jobs ~time_limit ();
+
+  if wants "crash" then
+    Exp_chaos.crash_soak
+      ~title:
+        (Printf.sprintf
+           "Experiment C2: crash-recovery soak (journaled runtime killed at \
+            every WAL kill point, seed %d)"
+           seed)
+      ~seed
+      ~events:(if smoke then 25 else 60)
+      ~time_limit ();
 
   if wants "b1" then
   Exp_baseline.run

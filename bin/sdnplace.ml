@@ -362,65 +362,134 @@ let verify_cmd =
 
 (* ---------------- events ---------------- *)
 
-let events_run file merge slice engine objective time_limit jobs strategy
-    num_events seed fail_rate timeout_rate deadline rules =
-  protect @@ fun () ->
-  let inst = Placement.Spec.load file in
-  let options = options_of merge slice engine objective time_limit jobs strategy in
-  let report = Placement.Solve.run ~options inst in
-  match report.Placement.Solve.solution with
-  | None ->
-    Format.printf "no initial placement: %a@." Placement.Encode.pp_status
-      report.Placement.Solve.status;
-    status_exit report.Placement.Solve.status
-  | Some initial ->
-    Format.printf "initial placement: %a@." Placement.Solution.pp_summary
-      initial;
-    let fault = Runtime.Fault_plan.make ~fail_rate ~timeout_rate ~seed () in
-    let config =
-      {
-        Runtime.Engine.default_config with
-        Runtime.Engine.deadline_s = deadline;
-        solve_options = options;
-      }
-    in
-    let eng = Runtime.Engine.create ~config ~fault initial in
-    let churn = Runtime.Churn.make ~rules ~seed:((seed * 31) + 7) () in
-    let reports = Runtime.Churn.drive churn eng num_events in
-    List.iteri (fun i r -> Format.printf "%3d  %a@." i Runtime.Report.pp r) reports;
-    let count p = List.length (List.filter p reports) in
-    Format.printf "@.%d events: %s@." num_events
-      (String.concat ", "
-         (List.map
-            (fun rung ->
-              Printf.sprintf "%s=%d" (Runtime.Report.rung_name rung)
-                (count (fun (r : Runtime.Report.t) -> r.Runtime.Report.rung = rung)))
-            [
-              Runtime.Report.Noop;
-              Runtime.Report.Incremental;
-              Runtime.Report.Full_resolve;
-              Runtime.Report.Greedy;
-              Runtime.Report.Quarantine;
-            ]));
-    Format.printf "rollbacks=%d quarantined=[%s] live-entries=%d@."
-      (count (fun (r : Runtime.Report.t) ->
-           match r.Runtime.Report.applied with
-           | Runtime.Report.Rolled_back _ -> true
-           | _ -> false))
-      (String.concat ","
-         (List.map string_of_int (Runtime.Engine.quarantined eng)))
-      (Runtime.Engine.live_entries eng);
-    let unverified =
-      count (fun (r : Runtime.Report.t) -> not r.Runtime.Report.verified)
-    in
-    if unverified = 0 then begin
-      Format.printf "all %d transitions verified@." num_events;
-      Cmd.Exit.ok
-    end
-    else begin
+(* Generate-and-handle through the journaled engine: the churn state is
+   captured {e after} each draw and logged with the event, so a resumed
+   run continues the stream exactly where a crash cut it. *)
+let rec drive_journaled churn j n acc =
+  if n <= 0 then List.rev acc
+  else
+    let ev = Runtime.Churn.next churn (Journal.Journaled.engine j) in
+    let r = Journal.Journaled.handle ~client:(Runtime.Churn.capture churn) j ev in
+    drive_journaled churn j (n - 1) (r :: acc)
+
+let summarize_events ?(pre_failed = false) reports eng =
+  let n = List.length reports in
+  List.iteri (fun i r -> Format.printf "%3d  %a@." i Runtime.Report.pp r) reports;
+  let count p = List.length (List.filter p reports) in
+  Format.printf "@.%d events: %s@." n
+    (String.concat ", "
+       (List.map
+          (fun rung ->
+            Printf.sprintf "%s=%d" (Runtime.Report.rung_name rung)
+              (count (fun (r : Runtime.Report.t) -> r.Runtime.Report.rung = rung)))
+          [
+            Runtime.Report.Noop;
+            Runtime.Report.Incremental;
+            Runtime.Report.Full_resolve;
+            Runtime.Report.Greedy;
+            Runtime.Report.Quarantine;
+          ]));
+  Format.printf "rollbacks=%d quarantined=[%s] live-entries=%d@."
+    (count (fun (r : Runtime.Report.t) ->
+         match r.Runtime.Report.applied with
+         | Runtime.Report.Rolled_back _ -> true
+         | _ -> false))
+    (String.concat ","
+       (List.map string_of_int (Runtime.Engine.quarantined eng)))
+    (Runtime.Engine.live_entries eng);
+  let unverified =
+    count (fun (r : Runtime.Report.t) -> not r.Runtime.Report.verified)
+  in
+  if unverified = 0 && not pre_failed then begin
+    Format.printf "all %d transitions verified@." n;
+    Cmd.Exit.ok
+  end
+  else begin
+    if unverified > 0 then
       Format.printf "%d transitions FAILED verification@." unverified;
-      exit_violations
-    end
+    exit_violations
+  end
+
+let events_run file merge slice engine objective time_limit jobs strategy
+    num_events seed fail_rate timeout_rate deadline rules journal resume =
+  protect @@ fun () ->
+  let options = options_of merge slice engine objective time_limit jobs strategy in
+  let config =
+    {
+      Runtime.Engine.default_config with
+      Runtime.Engine.deadline_s = deadline;
+      solve_options = options;
+    }
+  in
+  let churn_seed = (seed * 31) + 7 in
+  match (resume, journal) with
+  | true, None ->
+    Printf.eprintf "sdnplace: --resume requires --journal DIR\n%!";
+    exit_internal
+  | true, Some dir -> (
+    let store = Journal.Store.file ~dir in
+    match Journal.Journaled.recover ~config ~store () with
+    | Error msg ->
+      Printf.eprintf "sdnplace: cannot resume from %s: %s\n%!" dir msg;
+      exit_internal
+    | Ok rcv ->
+      Format.printf "resumed from %s: snapshot seq %d, %d events replayed%s@."
+        dir rcv.Journal.Journaled.snapshot_seq
+        (List.length rcv.Journal.Journaled.replayed)
+        (match rcv.Journal.Journaled.resolution with
+        | None -> ""
+        | Some (Journal.Journaled.Replayed s) ->
+          Printf.sprintf ", interrupted event %d re-executed" s
+        | Some (Journal.Journaled.Rolled_back s) ->
+          Printf.sprintf ", interrupted event %d rolled back and re-executed" s
+        | Some (Journal.Journaled.Rolled_forward s) ->
+          Printf.sprintf ", interrupted event %d rolled forward" s);
+      if rcv.Journal.Journaled.dropped_bytes > 0 then
+        Format.printf "truncated %d bytes of torn journal tail@."
+          rcv.Journal.Journaled.dropped_bytes;
+      List.iter
+        (fun d -> Format.printf "replay divergence: %s@." d)
+        rcv.Journal.Journaled.divergences;
+      let j = rcv.Journal.Journaled.journaled in
+      let churn =
+        match rcv.Journal.Journaled.client with
+        | Some blob -> Runtime.Churn.restore blob
+        | None -> Runtime.Churn.make ~rules ~seed:churn_seed ()
+      in
+      let reports = drive_journaled churn j num_events [] in
+      summarize_events
+        ~pre_failed:(rcv.Journal.Journaled.divergences <> [])
+        reports
+        (Journal.Journaled.engine j))
+  | false, _ -> (
+    match file with
+    | None ->
+      Printf.eprintf "sdnplace: INSTANCE is required unless --resume is given\n%!";
+      exit_internal
+    | Some file -> (
+      let inst = Placement.Spec.load file in
+      let report = Placement.Solve.run ~options inst in
+      match report.Placement.Solve.solution with
+      | None ->
+        Format.printf "no initial placement: %a@." Placement.Encode.pp_status
+          report.Placement.Solve.status;
+        status_exit report.Placement.Solve.status
+      | Some initial -> (
+        Format.printf "initial placement: %a@." Placement.Solution.pp_summary
+          initial;
+        let fault = Runtime.Fault_plan.make ~fail_rate ~timeout_rate ~seed () in
+        let churn = Runtime.Churn.make ~rules ~seed:churn_seed () in
+        match journal with
+        | None ->
+          let eng = Runtime.Engine.create ~config ~fault initial in
+          let reports = Runtime.Churn.drive churn eng num_events in
+          summarize_events reports eng
+        | Some dir ->
+          let store = Journal.Store.file ~dir in
+          let j = Journal.Journaled.create ~config ~fault ~store initial in
+          Format.printf "journaling to %s@." dir;
+          let reports = drive_journaled churn j num_events [] in
+          summarize_events reports (Journal.Journaled.engine j))))
 
 let events_cmd =
   let num_events =
@@ -459,17 +528,54 @@ let events_cmd =
       value & opt int 6
       & info [ "rules" ] ~docv:"N" ~doc:"Rules per generated tenant policy.")
   in
+  let instance =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"INSTANCE"
+          ~doc:
+            "Instance file (see the Spec format).  Required unless \
+             $(b,--resume) is given, in which case the state comes from the \
+             journal.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Directory for the crash-safe write-ahead journal.  Every event \
+             is durably logged (begin record, transaction intent/commit, \
+             commit record, each fsynced) and the full engine state is \
+             periodically snapshotted with log compaction, so an \
+             interrupted replay can be continued with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume a previous $(b,--journal) run: load the latest \
+             snapshot, replay the write-ahead log (a torn or corrupt tail \
+             is truncated, not fatal), resolve the event the crash \
+             interrupted (committed transactions are rolled forward, \
+             uncommitted ones rolled back), then continue the same churn \
+             stream for $(b,--events) more events.")
+  in
   Cmd.v
     (Cmd.info "events" ~exits
        ~doc:
          "Replay a seeded churn/chaos event stream (tenant arrivals, \
           re-routes, policy updates, departures, capacity shrinks, \
           switch/link failures) against the fault-tolerant runtime, with \
-          injected data-plane faults, and verify every transition.")
+          injected data-plane faults, and verify every transition.  With \
+          $(b,--journal) the replay is crash-safe: state is write-ahead \
+          logged and snapshotted, and $(b,--resume) continues an \
+          interrupted run.")
     Term.(
-      const events_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
+      const events_run $ instance $ merge_flag $ slice_flag $ engine_arg
       $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ num_events
-      $ seed $ fail_rate $ timeout_rate $ deadline $ rules)
+      $ seed $ fail_rate $ timeout_rate $ deadline $ rules $ journal $ resume)
 
 let main_cmd =
   Cmd.group

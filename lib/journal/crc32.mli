@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+
+    Every WAL record and snapshot blob is checksummed with it: the
+    polynomial detects all single-byte flips and every error burst of at
+    most 32 bits, which is what lets recovery tell a torn tail from a
+    valid record without trusting [Marshal] on corrupt bytes. *)
+
+val string : string -> int
+(** Checksum of the whole string, in [0, 0xFFFFFFFF]. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of a substring (no allocation).  Raises [Invalid_argument]
+    when the range is out of bounds. *)

@@ -1,0 +1,133 @@
+(** Crash-safe persistence around {!Runtime.Engine}.
+
+    A journaled engine writes a {!Wal} record stream around every event
+    it absorbs — [Ev_begin] before the engine sees it, [Tx_intent] /
+    [Tx_commit] around the two-phase table update, [Ev_commit] once the
+    report is in hand — each fsynced before the next step runs, and
+    periodically compacts the log into a full-state snapshot
+    ({!Runtime.Engine.persisted} plus the journal's own counters).
+
+    {!recover} inverts that: load the latest valid snapshot, replay the
+    log's longest valid prefix (a torn or corrupt tail is truncated, not
+    fatal), and resolve the at-most-one event the crash interrupted —
+    transactions whose commit record survived are rolled forward,
+    uncommitted ones are rolled back to their logged undo snapshot, and
+    either way the event is then re-executed.  Because every source of
+    engine randomness lives in the snapshot, the recovered engine's
+    tables and report signatures are byte-identical to a run that never
+    crashed — divergence from the logged signatures is reported, never
+    silently accepted.
+
+    Crash windows are modeled as {e kill points}: a caller-supplied hook
+    invoked at each boundary of the write protocol, which the test
+    harness uses to raise {!Killed} at every point in turn and assert
+    recovery converges. *)
+
+exception Killed of string
+(** The harness's simulated crash.  The journal never raises it itself;
+    it is declared here so the kill hook, the chaos bench and the CLI
+    agree on what a simulated power cut looks like. *)
+
+type kill_point =
+  | Before_begin  (** before the [Ev_begin] record is written *)
+  | After_begin  (** [Ev_begin] durable, engine has not run *)
+  | Mid_apply  (** before a per-entry table operation (fires per op) *)
+  | Before_commit  (** event handled, [Ev_commit] not yet written *)
+  | After_commit  (** [Ev_commit] durable, before any compaction *)
+
+val kill_point_name : kill_point -> string
+
+val all_kill_points : kill_point list
+
+type config = {
+  snapshot_every : int;
+      (** events between automatic snapshot + log compaction
+          (default 8; [max_int] disables automatic snapshots) *)
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?config:Runtime.Engine.config ->
+  ?journal:config ->
+  ?fault:Runtime.Fault_plan.t ->
+  ?now:(unit -> float) ->
+  ?kill:(kill_point -> unit) ->
+  store:Store.t ->
+  Placement.Solution.t ->
+  t
+(** Boot a fresh journaled engine from an initial placement and
+    immediately persist snapshot zero (so {!recover} works even before
+    the first event).  Any existing journal in [store] is overwritten. *)
+
+val handle : ?client:string -> t -> Runtime.Event.t -> Runtime.Report.t
+(** Absorb one event through the write-ahead protocol.  [client] is an
+    opaque blob persisted in the [Ev_begin] record and in snapshots —
+    pass the {e post-event} state of whatever generates your events
+    (e.g. {!Runtime.Churn.capture} {e after} drawing this event), so
+    that a resumed run continues the stream exactly where the crash cut
+    it: if the crash lands before this event's begin record, the
+    restored blob regenerates this same event; after it, the blob
+    generates the next one. *)
+
+val run : ?client:(unit -> string) -> t -> Runtime.Event.t list -> Runtime.Report.t list
+(** {!handle} in sequence; [client] is sampled after each event. *)
+
+val engine : t -> Runtime.Engine.t
+val seq : t -> int  (** events durably absorbed so far *)
+
+val client : t -> string option
+(** The most recent client blob (restored by {!recover}). *)
+
+val snapshot_now : t -> unit
+(** Force a snapshot and compact the log.  The snapshot is written
+    before the log is truncated, so a crash between the two is safe:
+    recovery skips log records the snapshot already covers. *)
+
+(** {1 Recovery} *)
+
+type resolution =
+  | Replayed of int
+      (** the interrupted event had no durable transaction records;
+          it was simply re-executed *)
+  | Rolled_back of int
+      (** its transaction had begun ([Tx_intent]) but not committed:
+          tables were restored to the undo snapshot, then the event was
+          re-executed *)
+  | Rolled_forward of int
+      (** its transaction had committed ([Tx_commit]) but the event
+          record was lost: re-execution redid it, and the final tables
+          were checked against the logged redo target *)
+
+type recovery = {
+  journaled : t;  (** ready to absorb further events *)
+  snapshot_seq : int;  (** the snapshot the log was replayed on top of *)
+  replayed : (int * Runtime.Report.t) list;
+      (** re-executed events in order, with their replay reports *)
+  resolution : resolution option;
+      (** how the at-most-one interrupted event was resolved, if any *)
+  client : string option;  (** most recent durable client blob *)
+  dropped_bytes : int;  (** torn/corrupt log tail truncated by the scan *)
+  divergences : string list;
+      (** replay cross-check failures: signature mismatches vs the
+          logged [Ev_commit] records, or table mismatches vs logged
+          undo/redo payloads.  Empty on a healthy recovery. *)
+}
+
+val recover :
+  ?config:Runtime.Engine.config ->
+  ?journal:config ->
+  ?now:(unit -> float) ->
+  ?kill:(kill_point -> unit) ->
+  store:Store.t ->
+  unit ->
+  (recovery, string) result
+(** Rebuild a journaled engine from [store].  [config] must match what
+    the crashed process ran with (it is deliberately not persisted —
+    solver options contain closures and host-specific knobs).  On
+    success the store has been re-snapshotted and compacted, so recovery
+    is idempotent: recovering again immediately yields the same state
+    with an empty log.  [Error] is returned only when no usable
+    snapshot exists (missing or corrupt beyond its checksum). *)

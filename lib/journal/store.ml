@@ -1,0 +1,123 @@
+type t = {
+  wal_append : string -> unit;
+  wal_sync : unit -> unit;
+  wal_read : unit -> string;
+  wal_reset : unit -> unit;
+  snap_write : string -> unit;
+  snap_read : unit -> string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* In-memory store with scriptable failures                            *)
+
+type memory = {
+  durable : Buffer.t;  (* log bytes that survived the last barrier *)
+  mutable pending : Buffer.t;  (* appended but not yet synced *)
+  mutable snap : string option;
+}
+
+let memory () =
+  let m = { durable = Buffer.create 256; pending = Buffer.create 256; snap = None } in
+  let store =
+    {
+      wal_append = (fun s -> Buffer.add_string m.pending s);
+      wal_sync =
+        (fun () ->
+          Buffer.add_buffer m.durable m.pending;
+          Buffer.clear m.pending);
+      (* [wal_read] models re-opening the file after a crash: whatever
+         never hit a barrier is simply gone. *)
+      wal_read = (fun () -> Buffer.contents m.durable);
+      wal_reset =
+        (fun () ->
+          Buffer.clear m.durable;
+          Buffer.clear m.pending);
+      snap_write = (fun s -> m.snap <- Some s);
+      snap_read = (fun () -> m.snap);
+    }
+  in
+  (store, m)
+
+let crash ?(keep = 0) m =
+  let pending = Buffer.contents m.pending in
+  let keep = max 0 (min keep (String.length pending)) in
+  Buffer.add_substring m.durable pending 0 keep;
+  Buffer.clear m.pending
+
+let corrupt m ~pos byte =
+  let s = Buffer.contents m.durable in
+  if pos >= 0 && pos < String.length s then begin
+    let b = Bytes.of_string s in
+    Bytes.set b pos byte;
+    Buffer.clear m.durable;
+    Buffer.add_bytes m.durable b
+  end
+
+let chop m n =
+  let s = Buffer.contents m.durable in
+  let keep = max 0 (String.length s - max 0 n) in
+  Buffer.clear m.durable;
+  Buffer.add_substring m.durable s 0 keep
+
+let durable_size m = Buffer.length m.durable
+let pending_size m = Buffer.length m.pending
+let snapshot_of m = m.snap
+let set_snapshot m s = m.snap <- s
+
+(* ------------------------------------------------------------------ *)
+(* File-backed store                                                   *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let read_file path =
+  if Sys.file_exists path then
+    In_channel.with_open_bin path In_channel.input_all
+  else ""
+
+let fsync_dir dir =
+  (* Make the rename itself durable.  Some filesystems refuse fsync on a
+     directory fd; that only weakens the barrier, never correctness. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let file ~dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let wal_path = Filename.concat dir "wal.log" in
+  let snap_path = Filename.concat dir "snapshot.bin" in
+  let wal_fd =
+    ref (Unix.openfile wal_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644)
+  in
+  {
+    wal_append = (fun s -> write_all !wal_fd s);
+    wal_sync = (fun () -> Unix.fsync !wal_fd);
+    wal_read = (fun () -> read_file wal_path);
+    wal_reset =
+      (fun () ->
+        Unix.close !wal_fd;
+        wal_fd :=
+          Unix.openfile wal_path
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ]
+            0o644;
+        Unix.fsync !wal_fd);
+    snap_write =
+      (fun s ->
+        let tmp = snap_path ^ ".tmp" in
+        let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+        write_all fd s;
+        Unix.fsync fd;
+        Unix.close fd;
+        Unix.rename tmp snap_path;
+        fsync_dir dir);
+    snap_read =
+      (fun () ->
+        if Sys.file_exists snap_path then Some (read_file snap_path) else None);
+  }

@@ -1,0 +1,64 @@
+(** Injectable durable storage for the journal.
+
+    Everything the crash-safe layer persists flows through this record of
+    operations: an append-only write-ahead log plus a single snapshot
+    slot.  Two implementations ship — an in-memory store whose crash
+    semantics are fully scriptable (partial writes, short reads, bit
+    corruption), and a file-backed store with real [fsync] barriers.
+    The journal itself never knows which one it is writing to, which is
+    what lets the kill-point test harness exercise every crash window
+    without touching a filesystem. *)
+
+type t = {
+  wal_append : string -> unit;
+      (** append raw bytes to the log (buffered until [wal_sync]) *)
+  wal_sync : unit -> unit;  (** durability barrier for prior appends *)
+  wal_read : unit -> string;
+      (** the durable log contents, as one byte string *)
+  wal_reset : unit -> unit;  (** truncate the log (after compaction) *)
+  snap_write : string -> unit;
+      (** atomically replace the snapshot blob (durable on return) *)
+  snap_read : unit -> string option;  (** the snapshot blob, if any *)
+}
+
+(** {1 In-memory store with scriptable failures} *)
+
+type memory
+(** Control handle for the in-memory store — the test harness's lever
+    for simulating crashes. *)
+
+val memory : unit -> t * memory
+
+val crash : ?keep:int -> memory -> unit
+(** Simulate a process crash: unsynced appends are lost, except that the
+    first [keep] bytes of the pending buffer survive (a partial/torn
+    write reaching the disk before power loss).  [keep] defaults to 0
+    and is clamped to the pending size. *)
+
+val corrupt : memory -> pos:int -> char -> unit
+(** Overwrite one durable log byte in place (media corruption).
+    Out-of-range positions are ignored. *)
+
+val chop : memory -> int -> unit
+(** Drop the last [n] durable log bytes (a short read / truncated
+    tail).  Clamped to the durable size. *)
+
+val durable_size : memory -> int
+(** Bytes of log a re-opened store would see. *)
+
+val pending_size : memory -> int
+(** Bytes appended but not yet synced. *)
+
+val snapshot_of : memory -> string option
+(** The durable snapshot blob (to corrupt or inspect). *)
+
+val set_snapshot : memory -> string option -> unit
+(** Replace or erase the durable snapshot blob directly. *)
+
+(** {1 File-backed store} *)
+
+val file : dir:string -> t
+(** Store the log as [dir/wal.log] and the snapshot as [dir/snapshot.bin]
+    (written to a temp file, fsynced, then renamed over).  Creates [dir]
+    if missing.  Appends are written immediately and fsynced at
+    [wal_sync]. *)

@@ -1,0 +1,52 @@
+(** Write-ahead log records and their wire framing.
+
+    Every record is framed as [[u32 len][u32 crc][payload]] (both
+    big-endian; [crc] is {!Crc32} of the payload) with the payload a
+    [Marshal]ed {!record}.  The framing is what makes recovery safe on a
+    torn or corrupt log: {!scan} verifies length bounds and the checksum
+    {e before} the bytes ever reach [Marshal], and cuts the log at the
+    first record that fails — everything before the cut is trusted,
+    everything after is discarded.
+
+    The record sequence for one absorbed event [seq] is:
+    [Ev_begin] → ([Tx_intent] → [Tx_commit] if the event produced a
+    data-plane transaction) → [Ev_commit].  Which suffix of that
+    sequence survives a crash tells recovery exactly how far the event
+    got (see {!Journaled}). *)
+
+type record =
+  | Ev_begin of { seq : int; event : Runtime.Event.t; client : string option }
+      (** logged (and fsynced) before the engine sees the event;
+          [client] is an opaque blob the caller wants restored alongside
+          (e.g. the churn generator's state) *)
+  | Tx_intent of {
+      seq : int;
+      undo : Netsim.entry list array;  (** pre-transaction tables *)
+      redo : Netsim.entry list array;  (** target tables *)
+    }  (** logged before the first table operation of the transaction *)
+  | Tx_commit of { seq : int }  (** logged right after the transaction commits *)
+  | Ev_commit of { seq : int; signature : string }
+      (** logged once the event is fully absorbed; [signature] is the
+          report's {!Runtime.Report.signature}, recovery's cross-check
+          that replay converged *)
+
+val seq_of : record -> int
+val describe : record -> string
+
+val frame : string -> string
+(** Wrap a payload in the length+CRC frame. *)
+
+val unframe : string -> string option
+(** Decode a string holding exactly one frame; [None] if torn, corrupt,
+    or trailed by garbage.  (Used for the snapshot blob, which is a
+    single frame.) *)
+
+val encode : record -> string
+(** A framed, marshaled record, ready to append. *)
+
+val scan : string -> record list * int
+(** [scan log] decodes the longest valid prefix of the log: the records
+    in order plus how many bytes they span.  Stops — without raising,
+    whatever the bytes are — at a short header, an implausible length, a
+    CRC mismatch, or a payload [Marshal] rejects; the remainder is a
+    torn tail to truncate. *)

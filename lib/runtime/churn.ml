@@ -29,6 +29,10 @@ type t = {
 let make ?(weights = default_weights) ?(rules = 6) ~seed () =
   { prng = Prng.create seed; weights; rules; killed_links = [] }
 
+let capture t = Marshal.to_string t []
+
+let restore s = (Marshal.from_string s 0 : t)
+
 let path_to t net ~ingress ~egress =
   let src = Topo.Net.host_attach net ingress in
   let dst = Topo.Net.host_attach net egress in

@@ -33,6 +33,16 @@ val make : ?weights:weights -> ?rules:int -> seed:int -> unit -> t
 (** [rules] is the per-policy rule count for generated tenants
     (default 6). *)
 
+val capture : t -> string
+(** The generator's full state (PRNG position included) as an opaque
+    byte string — journaled runs log it alongside each event so a
+    resumed run continues the {e same} stream. *)
+
+val restore : string -> t
+(** Inverse of {!capture}.  Only feed it strings produced by {!capture}
+    (the crash-safe journal checksums them in transit); anything else is
+    undefined behaviour, as with [Marshal]. *)
+
 val next : t -> Engine.t -> Event.t
 (** One event drawn against the engine's current state.  Falls back
     across categories when a draw is impossible (e.g. no active tenant

@@ -30,6 +30,7 @@ type fenced = {
 
 type t = {
   config : config;
+  now : unit -> float;
   fault : Fault_plan.t;
   api : Switch_api.t;
   mutable good : Solution.t;
@@ -54,13 +55,15 @@ let tables_of_solution (sol : Solution.t) =
   let n = Topo.Net.num_switches sol.Solution.instance.Instance.net in
   Array.init n (Netsim.table netsim)
 
-let create ?(config = default_config) ?(fault = Fault_plan.none) good =
+let create ?(config = default_config) ?(fault = Fault_plan.none)
+    ?(now = Unix.gettimeofday) good =
   let api =
     Switch_api.create ~config:config.switch_config ~fault
       (tables_of_solution good)
   in
   {
     config;
+    now;
     fault;
     api;
     good;
@@ -71,8 +74,55 @@ let create ?(config = default_config) ?(fault = Fault_plan.none) good =
     verify_prng = Prng.create config.verify_seed;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Durable state: everything a crash-safe journal must persist to
+   rebuild an engine that behaves byte-for-byte like the original.
+   The clock and config stay out (closures / caller policy) and are
+   re-supplied at [restore]; [p_fault] and the fault plan referenced
+   inside [p_api] are the same object, and [Marshal] preserves that
+   sharing as long as the whole record is serialized in one call. *)
+
+type persisted = {
+  p_api : Switch_api.t;
+  p_fault : Fault_plan.t;
+  p_good : Solution.t;
+  p_quarantine : fenced list;
+  p_dead_switches : int list;
+  p_dead_links : (int * int) list;
+  p_route_prng : Prng.t;
+  p_verify_prng : Prng.t;
+}
+
+let capture t =
+  {
+    p_api = t.api;
+    p_fault = t.fault;
+    p_good = t.good;
+    p_quarantine = t.quarantine;
+    p_dead_switches = t.dead_switches;
+    p_dead_links = t.dead_links;
+    p_route_prng = t.route_prng;
+    p_verify_prng = t.verify_prng;
+  }
+
+let restore ?(config = default_config) ?(now = Unix.gettimeofday) p =
+  {
+    config;
+    now;
+    fault = p.p_fault;
+    api = p.p_api;
+    good = p.p_good;
+    quarantine = p.p_quarantine;
+    dead_switches = p.p_dead_switches;
+    dead_links = p.p_dead_links;
+    route_prng = p.p_route_prng;
+    verify_prng = p.p_verify_prng;
+  }
+
 let good t = t.good
 let netsim t = Netsim.make (net t) (Switch_api.snapshot t.api)
+let table_snapshot t = Switch_api.snapshot t.api
+let resync t tables = Transaction.restore ~api:t.api tables
 
 let live_entries t =
   Array.fold_left (fun acc es -> acc + List.length es) 0 (Switch_api.tables t.api)
@@ -594,8 +644,15 @@ let verify t =
 (* ------------------------------------------------------------------ *)
 (* The event loop                                                      *)
 
-let handle t event =
-  let t0 = Unix.gettimeofday () in
+type tx_observer = {
+  on_intent :
+    undo:Netsim.entry list array -> redo:Netsim.entry list array -> unit;
+  on_op : switch:int -> op:string -> unit;
+  on_commit : unit -> unit;
+}
+
+let handle ?tx t event =
+  let t0 = t.now () in
   let s = Switch_api.stats t.api in
   let a0 = s.Switch_api.attempts
   and f0 = s.Switch_api.failures
@@ -618,7 +675,7 @@ let handle t event =
       timeouts = s.Switch_api.timeouts - o0;
       retries = s.Switch_api.retries - r0;
       forced_resyncs = s.Switch_api.forced_resyncs - x0;
-      wall_s = Unix.gettimeofday () -. t0;
+      wall_s = t.now () -. t0;
     }
   in
   match plan t event with
@@ -651,8 +708,17 @@ let handle t event =
         if goal.sub_policies = [] && goal.unroutable <> [] then Report.Quarantine
         else rung
       in
-      match Transaction.apply ~api:t.api ~target:(target_tables t sol q') with
+      let target = target_tables t sol q' in
+      (match tx with
+      | Some o ->
+        o.on_intent ~undo:(Switch_api.snapshot t.api) ~redo:target
+      | None -> ());
+      let observe =
+        Option.map (fun o ~switch ~op -> o.on_op ~switch ~op) tx
+      in
+      match Transaction.apply ?observe ~api:t.api target with
       | Transaction.Committed ->
+        (match tx with Some o -> o.on_commit () | None -> ());
         t.good <- sol;
         t.quarantine <- q';
         finish ~rung ~status ~applied:Report.Committed
@@ -666,4 +732,4 @@ let handle t event =
           ~applied:(Report.Rolled_back (Printf.sprintf "%s@%d" op switch))
           ~newq ~verified:(verify t))
 
-let run t events = List.map (handle t) events
+let run ?tx t events = List.map (handle ?tx t) events

@@ -51,10 +51,44 @@ val default_config : config
 type t
 
 val create :
-  ?config:config -> ?fault:Fault_plan.t -> Placement.Solution.t -> t
+  ?config:config ->
+  ?fault:Fault_plan.t ->
+  ?now:(unit -> float) ->
+  Placement.Solution.t ->
+  t
 (** Boots the runtime from an initial placement: the live tables are the
     solution's tables ({!Placement.Tables.to_netsim}), nothing is
-    quarantined, nothing is dead. *)
+    quarantined, nothing is dead.
+
+    [now] is the engine's clock (default [Unix.gettimeofday]), consulted
+    only for the per-event deadline and the report's [wall_s].  Tests
+    freeze it to make deadline behaviour deterministic without
+    sleeping. *)
+
+type persisted
+(** The engine's complete durable state: last-good solution, quarantine
+    records, dead infrastructure, live tables, retry statistics, and
+    {e every} PRNG stream (fault draws, re-routing, verification) — so a
+    restored engine replays future events byte-for-byte like the
+    original.  Plain data, safe to [Marshal] (the clock and config are
+    deliberately excluded; they are re-supplied at {!restore}). *)
+
+val capture : t -> persisted
+(** A cheap structural view sharing the engine's mutable state —
+    serialize it before handling further events. *)
+
+val restore : ?config:config -> ?now:(unit -> float) -> persisted -> t
+(** Rebuild an engine from captured state.  [config] must match the one
+    the original engine ran with for replay determinism (solver options
+    and ladder rungs change solve outcomes). *)
+
+val table_snapshot : t -> Netsim.entry list array
+(** A deep-enough copy of the live per-switch tables. *)
+
+val resync : t -> Netsim.entry list array -> unit
+(** Force-resync the data plane to the given tables (see
+    {!Transaction.restore}) — the recovery path's tool for resolving a
+    transaction a crash left torn. *)
 
 val good : t -> Placement.Solution.t
 (** The last-known-good placement (instance included). *)
@@ -70,9 +104,26 @@ val quarantined : t -> int list
 
 val dead_switches : t -> int list
 
-val handle : t -> Event.t -> Report.t
+type tx_observer = {
+  on_intent :
+    undo:Netsim.entry list array -> redo:Netsim.entry list array -> unit;
+      (** called once per data-plane transaction, after the target is
+          fixed and before the first operation: [undo] is the
+          pre-transaction snapshot, [redo] the target tables *)
+  on_op : switch:int -> op:string -> unit;
+      (** called before each per-entry install/delete of the two phases *)
+  on_commit : unit -> unit;
+      (** called right after the transaction committed, before the
+          engine adopts the new solution *)
+}
+(** Write-ahead hooks around the two-phase table update — what the
+    crash-safe journal uses to log transaction intent/commit records and
+    to place mid-apply kill points.  Exceptions raised by the hooks
+    propagate out of {!handle} (a simulated crash). *)
+
+val handle : ?tx:tx_observer -> t -> Event.t -> Report.t
 (** Absorb one event.  Never raises on malformed events (they are
     rejected in the report); never leaves the tables torn. *)
 
-val run : t -> Event.t list -> Report.t list
+val run : ?tx:tx_observer -> t -> Event.t list -> Report.t list
 (** [handle] in sequence, reports in event order. *)

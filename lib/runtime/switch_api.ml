@@ -2,9 +2,16 @@ type config = {
   max_retries : int;
   base_backoff_s : float;
   max_backoff_s : float;
+  max_total_backoff_s : float;
 }
 
-let default_config = { max_retries = 4; base_backoff_s = 0.01; max_backoff_s = 1.0 }
+let default_config =
+  {
+    max_retries = 4;
+    base_backoff_s = 0.01;
+    max_backoff_s = 1.0;
+    max_total_backoff_s = 60.0;
+  }
 
 type stats = {
   mutable attempts : int;
@@ -14,6 +21,8 @@ type stats = {
   mutable gave_up : int;
   mutable forced_resyncs : int;
   mutable backoff_s : float;
+  mutable last_op_backoff_s : float;
+  mutable max_op_backoff_s : float;
 }
 
 type t = {
@@ -37,6 +46,8 @@ let create ?(config = default_config) ~fault live =
         gave_up = 0;
         forced_resyncs = 0;
         backoff_s = 0.0;
+        last_op_backoff_s = 0.0;
+        max_op_backoff_s = 0.0;
       };
   }
 
@@ -51,6 +62,8 @@ let stats t = t.stats
    handles events under a wall-clock deadline and must not burn it
    waiting on a switch the fault plan scripted to misbehave. *)
 let attempt t ~switch apply =
+  let cap = t.config.max_total_backoff_s in
+  let acc = ref 0.0 in
   let rec go tries backoff =
     t.stats.attempts <- t.stats.attempts + 1;
     match Fault_plan.draw t.fault ~switch with
@@ -67,12 +80,19 @@ let attempt t ~switch apply =
       end
       else begin
         t.stats.retries <- t.stats.retries + 1;
-        t.stats.backoff_s <-
-          t.stats.backoff_s +. (backoff *. Fault_plan.jitter t.fault);
-        go (tries + 1) (Float.min t.config.max_backoff_s (2.0 *. backoff))
+        (* Clamp the per-operation accumulation: a huge [max_retries]
+           (or an unbounded [max_backoff_s]) must neither overflow the
+           float accounting nor blow the operation's delay budget. *)
+        acc := Float.min cap (!acc +. (backoff *. Fault_plan.jitter t.fault));
+        let next = Float.min t.config.max_backoff_s (2.0 *. backoff) in
+        go (tries + 1) (if Float.is_finite next then next else backoff)
       end
   in
-  go 0 t.config.base_backoff_s
+  let ok = go 0 t.config.base_backoff_s in
+  t.stats.last_op_backoff_s <- !acc;
+  if !acc > t.stats.max_op_backoff_s then t.stats.max_op_backoff_s <- !acc;
+  t.stats.backoff_s <- t.stats.backoff_s +. !acc;
+  ok
 
 let install t ~switch entry =
   attempt t ~switch (fun () -> t.live.(switch) <- t.live.(switch) @ [ entry ])

@@ -17,7 +17,12 @@
 type config = {
   max_retries : int;  (** retries beyond the first attempt (default 4) *)
   base_backoff_s : float;  (** first retry delay (default 0.01) *)
-  max_backoff_s : float;  (** backoff ceiling (default 1.0) *)
+  max_backoff_s : float;  (** per-retry backoff ceiling (default 1.0) *)
+  max_total_backoff_s : float;
+      (** cap on the {e accumulated} simulated backoff of one operation
+          (default 60.0): however large [max_retries] is, a single
+          operation's accounted delay can neither exceed this budget nor
+          overflow the float accounting *)
 }
 
 val default_config : config
@@ -30,6 +35,11 @@ type stats = {
   mutable gave_up : int;  (** operations that exhausted their retries *)
   mutable forced_resyncs : int;  (** [force_set] calls *)
   mutable backoff_s : float;  (** total simulated backoff delay *)
+  mutable last_op_backoff_s : float;
+      (** simulated backoff of the most recent operation (clamped to
+          [max_total_backoff_s]) *)
+  mutable max_op_backoff_s : float;
+      (** worst single-operation backoff seen so far *)
 }
 
 type t

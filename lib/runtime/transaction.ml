@@ -17,7 +17,16 @@ let diff a b =
 
 let same_contents a b = diff a b = [] && diff b a = []
 
-let apply ~api ~(target : Netsim.entry list array) =
+let restore ~api (tables : Netsim.entry list array) =
+  let live = Switch_api.tables api in
+  if Array.length tables <> Array.length live then
+    invalid_arg "Transaction.restore: switch count mismatch";
+  Array.iteri
+    (fun k table ->
+      if live.(k) <> table then Switch_api.force_set api ~switch:k table)
+    tables
+
+let apply ?observe ~api (target : Netsim.entry list array) =
   let live = Switch_api.tables api in
   if Array.length target <> Array.length live then
     invalid_arg "Transaction.apply: switch count mismatch";
@@ -56,6 +65,10 @@ let apply ~api ~(target : Netsim.entry list array) =
   let phase op acted ops =
     List.for_all
       (fun (k, e) ->
+        (match observe with
+        | Some f ->
+          f ~switch:k ~op:(match op with `Install -> "install" | `Delete -> "delete")
+        | None -> ());
         let ok =
           match op with
           | `Install -> Switch_api.install api ~switch:k e

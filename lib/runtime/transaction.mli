@@ -24,6 +24,25 @@ type outcome =
       (** first unrecoverable operation: which switch and ["install"] /
           ["delete"] *)
 
-val apply : api:Switch_api.t -> target:Netsim.entry list array -> outcome
+val apply :
+  ?observe:(switch:int -> op:string -> unit) ->
+  api:Switch_api.t ->
+  Netsim.entry list array ->
+  outcome
 (** Raises [Invalid_argument] when the target's switch count differs
-    from the live tables'. *)
+    from the live tables'.
+
+    [observe] is called immediately {e before} each per-entry operation
+    of the two phases (rollback compensation is not observed) — the hook
+    the crash-safe journal uses to place mid-apply kill points.  An
+    exception raised by [observe] aborts the transaction as-is, leaving
+    the tables torn: exactly the situation WAL recovery must repair. *)
+
+val restore : api:Switch_api.t -> Netsim.entry list array -> unit
+(** Force-resync every switch whose live table differs from the given
+    tables (a controller-driven snapshot restore: no fault draws are
+    consumed).  Idempotent — restoring twice is a no-op, and restoring
+    tables the data plane already holds touches nothing.  This is both
+    rollback's last resort and the recovery path's tool for resolving a
+    transaction that was torn by a crash.  Raises [Invalid_argument] on
+    a switch count mismatch. *)

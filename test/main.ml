@@ -27,5 +27,7 @@ let () =
       ("sat-opt", Test_sat_opt.suite);
       ("portfolio", Test_portfolio.suite);
       ("runtime", Test_runtime.suite);
+      ("transaction-props", Test_transaction_props.suite);
+      ("journal", Test_journal.suite);
       ("properties", Test_properties.suite);
     ]

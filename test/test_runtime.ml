@@ -192,7 +192,7 @@ let test_rollback_byte_identical_on_install_failure () =
      after the first succeeded — rollback must undo switch 1. *)
   Fault_plan.mark_dead fault 2;
   let target = [| [ entry 0 5 ]; [ entry 2 9 ]; [ entry 1 4; entry 3 1 ]; [] |] in
-  (match Transaction.apply ~api ~target with
+  (match Transaction.apply ~api target with
   | Transaction.Rolled_back { switch = 2; op = "install" } -> ()
   | Transaction.Rolled_back { switch; op } ->
     Alcotest.failf "unexpected rollback point %s@%d" op switch
@@ -209,7 +209,7 @@ let test_rollback_byte_identical_on_delete_failure () =
      rollback deletes the installed entries again. *)
   Fault_plan.mark_dead fault 0;
   let target = [| []; [ entry 2 9 ]; [ entry 1 4; entry 3 1 ]; [] |] in
-  (match Transaction.apply ~api ~target with
+  (match Transaction.apply ~api target with
   | Transaction.Rolled_back { switch = 0; op = "delete" } -> ()
   | Transaction.Rolled_back { switch; op } ->
     Alcotest.failf "unexpected rollback point %s@%d" op switch
@@ -220,7 +220,7 @@ let test_rollback_byte_identical_on_delete_failure () =
 let test_transaction_commit_orders_target () =
   let api = Switch_api.create ~fault:Fault_plan.none [| [ entry 0 1; entry 1 2 ] |] in
   let target = [| [ entry 1 2; entry 2 7 ] |] in
-  (match Transaction.apply ~api ~target with
+  (match Transaction.apply ~api target with
   | Transaction.Committed -> ()
   | Transaction.Rolled_back _ -> Alcotest.fail "expected commit");
   Alcotest.(check bool) "exact target order" true
@@ -261,6 +261,41 @@ let test_retry_backoff_accounting () =
     (s.Switch_api.failures + s.Switch_api.timeouts > 0);
   Alcotest.(check bool) "retries happened" true (s.Switch_api.retries > 0);
   Alcotest.(check bool) "backoff accumulated" true (s.Switch_api.backoff_s > 0.)
+
+let test_backoff_accumulation_clamped () =
+  (* A pathological retry policy — ten thousand retries against a switch
+     that always fails, with an unbounded per-retry ceiling — must
+     neither overflow the float accounting nor blow past the
+     per-operation budget. *)
+  let fault = Fault_plan.make ~fail_rate:1.0 ~seed:31 () in
+  let config =
+    {
+      Switch_api.default_config with
+      Switch_api.max_retries = 10_000;
+      max_backoff_s = Float.infinity;
+    }
+  in
+  let api = Switch_api.create ~config ~fault [| [] |] in
+  Alcotest.(check bool) "operation gives up" false
+    (Switch_api.install api ~switch:0 (entry 0 1));
+  let s = Switch_api.stats api in
+  Alcotest.(check int) "all retries spent" 10_000 s.Switch_api.retries;
+  Alcotest.(check bool) "total backoff finite" true
+    (Float.is_finite s.Switch_api.backoff_s);
+  Alcotest.(check bool) "per-op backoff clamped to the budget" true
+    (s.Switch_api.last_op_backoff_s
+     <= config.Switch_api.max_total_backoff_s +. 1e-9);
+  Alcotest.(check bool) "worst-op stat tracks the clamp" true
+    (s.Switch_api.max_op_backoff_s = s.Switch_api.last_op_backoff_s);
+  (* a second, clean operation resets the per-op gauge but not the max *)
+  Alcotest.(check bool) "clean op succeeds" true
+    (Switch_api.install
+       (Switch_api.create ~config ~fault:Fault_plan.none [| [] |])
+       ~switch:0 (entry 0 2));
+  let clean_api = Switch_api.create ~config ~fault:Fault_plan.none [| [] |] in
+  ignore (Switch_api.install clean_api ~switch:0 (entry 0 3));
+  Alcotest.(check (float 0.0)) "no backoff on a clean op" 0.0
+    (Switch_api.stats clean_api).Switch_api.last_op_backoff_s
 
 (* ------------------------------------------------------------------ *)
 (* Deadline-bounded incremental solves                                 *)
@@ -349,6 +384,8 @@ let suite =
       test_engine_rollback_quarantines;
     Alcotest.test_case "retry/backoff accounting adds up" `Quick
       test_retry_backoff_accounting;
+    Alcotest.test_case "pathological retry policy stays clamped" `Quick
+      test_backoff_accumulation_clamped;
     Alcotest.test_case "expired deadline returns promptly" `Quick
       test_incremental_deadline_prompt;
     Alcotest.test_case "cancel hook reaches the sub-solve" `Quick

@@ -1,0 +1,136 @@
+(* Property-based tests for the two-phase transaction layer: whatever
+   the fault plan does to the per-entry operations, a rolled-back
+   transaction must leave the tables byte-for-byte at their
+   pre-transaction state, rolling back again must change nothing, and a
+   snapshot restore must be idempotent. *)
+open Runtime
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let random_entry g =
+  {
+    Netsim.tags = [ Prng.int g 8 ];
+    rule =
+      Acl.Rule.make ~field:Ternary.Field.any
+        ~action:(if Prng.bool g then Acl.Rule.Permit else Acl.Rule.Drop)
+        ~priority:(Prng.int g 32);
+  }
+
+let random_table g =
+  let rec go n acc = if n = 0 then acc else go (n - 1) (random_entry g :: acc) in
+  go (Prng.int g 5) []
+
+let random_tables g ~switches = Array.init switches (fun _ -> random_table g)
+
+let bytes_of tables = Marshal.to_string tables []
+
+let seed_arb = QCheck.(make ~print:string_of_int Gen.int)
+
+(* Whatever happens — commit, clean rollback, rollback that itself had
+   to fight injected faults — the tables end either exactly at the
+   target or byte-for-byte back at the start. *)
+let prop_apply_all_or_nothing =
+  QCheck.Test.make ~name:"apply is all-or-nothing under injected faults"
+    ~count:200 seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let switches = 2 + Prng.int g 4 in
+      let live = random_tables g ~switches in
+      let target = random_tables g ~switches in
+      let fault =
+        Fault_plan.make
+          ~fail_rate:(Prng.float g 0.6)
+          ~timeout_rate:(Prng.float g 0.3)
+          ~seed:(seed lxor 0x5EED) ()
+      in
+      let config = { Switch_api.default_config with Switch_api.max_retries = Prng.int g 3 } in
+      let api = Switch_api.create ~config ~fault live in
+      let before = bytes_of (Switch_api.snapshot api) in
+      match Transaction.apply ~api target with
+      | Transaction.Committed -> bytes_of (Switch_api.tables api) = bytes_of target
+      | Transaction.Rolled_back _ -> bytes_of (Switch_api.tables api) = before)
+
+(* A transaction that rolled back once rolls back again identically:
+   the dead switch still refuses, and both rollbacks land on the same
+   byte-identical pre-transaction tables. *)
+let prop_double_rollback_noop =
+  QCheck.Test.make ~name:"double rollback is a no-op" ~count:200 seed_arb
+    (fun seed ->
+      let g = Prng.create seed in
+      let switches = 2 + Prng.int g 4 in
+      let live = random_tables g ~switches in
+      let target = random_tables g ~switches in
+      let fault = Fault_plan.make ~seed:(seed lxor 0xDEAD) () in
+      let dead = Prng.int g switches in
+      Fault_plan.mark_dead fault dead;
+      let api = Switch_api.create ~fault live in
+      let before = bytes_of (Switch_api.snapshot api) in
+      match Transaction.apply ~api target with
+      | Transaction.Committed ->
+        (* no operation touched the dead switch; nothing to roll back *)
+        bytes_of (Switch_api.tables api) = bytes_of target
+      | Transaction.Rolled_back _ -> (
+        let after_first = bytes_of (Switch_api.tables api) in
+        match Transaction.apply ~api target with
+        | Transaction.Committed -> false
+        | Transaction.Rolled_back _ ->
+          after_first = before
+          && bytes_of (Switch_api.tables api) = before))
+
+(* Restoring a snapshot is idempotent: the first restore lands the
+   tables byte-for-byte on the snapshot, the second touches nothing (no
+   further forced resyncs). *)
+let prop_restore_idempotent =
+  QCheck.Test.make ~name:"snapshot restore is idempotent" ~count:200 seed_arb
+    (fun seed ->
+      let g = Prng.create seed in
+      let switches = 2 + Prng.int g 4 in
+      let live = random_tables g ~switches in
+      let snapshot = random_tables g ~switches in
+      let api = Switch_api.create ~fault:Fault_plan.none live in
+      Transaction.restore ~api snapshot;
+      let after_first = bytes_of (Switch_api.tables api) in
+      let resyncs = (Switch_api.stats api).Switch_api.forced_resyncs in
+      Transaction.restore ~api snapshot;
+      after_first = bytes_of snapshot
+      && bytes_of (Switch_api.tables api) = after_first
+      && (Switch_api.stats api).Switch_api.forced_resyncs = resyncs)
+
+(* Rollback after a partial apply: force the failure onto a switch the
+   transaction must touch late, so earlier operations have already
+   mutated other switches before the rollback — those mutations must be
+   compensated byte-for-byte. *)
+let prop_partial_apply_restored =
+  QCheck.Test.make ~name:"rollback after partial apply restores snapshot"
+    ~count:200 seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let switches = 3 + Prng.int g 3 in
+      let live = random_tables g ~switches in
+      (* tags from [random_entry] stay below 8, so these additions are
+         guaranteed fresh — every switch really has an install to do *)
+      let fresh i =
+        {
+          Netsim.tags = [ 1000 + i ];
+          rule =
+            Acl.Rule.make ~field:Ternary.Field.any ~action:Acl.Rule.Permit
+              ~priority:40;
+        }
+      in
+      let target = Array.mapi (fun i t -> fresh i :: t) live in
+      let fault = Fault_plan.make ~seed:(seed lxor 0xBEEF) () in
+      (* every switch gains an entry; killing the last one guarantees the
+         earlier installs succeed first *)
+      Fault_plan.mark_dead fault (switches - 1);
+      let api = Switch_api.create ~fault live in
+      let before = bytes_of (Switch_api.snapshot api) in
+      match Transaction.apply ~api target with
+      | Transaction.Committed -> false
+      | Transaction.Rolled_back { switch; _ } ->
+        switch = switches - 1 && bytes_of (Switch_api.tables api) = before)
+
+let suite =
+  [
+    qtest prop_apply_all_or_nothing;
+    qtest prop_double_rollback_noop;
+    qtest prop_restore_idempotent;
+    qtest prop_partial_apply_restored;
+  ]
