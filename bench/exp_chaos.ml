@@ -53,6 +53,11 @@ let run ~title ~seed ~events ~jobs ~time_limit () =
     in
     let eng = Runtime.Engine.create ~config ~fault initial in
     let churn = Runtime.Churn.make ~rules:6 ~seed:((seed * 13) + 5) () in
+    (* The soak always traces itself: every event must leave exactly one
+       closed "runtime.event" root span and the span tree must nest. *)
+    let trace_was_on = Telemetry.Trace.is_enabled () in
+    if not trace_was_on then Telemetry.Trace.enable ();
+    let roots0 = Telemetry.Trace.root_count ~name:"runtime.event" () in
     let reports, t_run =
       Harness.wall (fun () ->
           let head = Runtime.Churn.drive churn eng (events / 3) in
@@ -137,6 +142,16 @@ let run ~title ~seed ~events ~jobs ~time_limit () =
         (List.length reports);
       exit 1
     end;
+    let roots = Telemetry.Trace.root_count ~name:"runtime.event" () - roots0 in
+    let nesting = Telemetry.Trace.check_nesting () in
+    if not trace_was_on then Telemetry.Trace.disable ();
+    if roots <> List.length reports || nesting <> [] then begin
+      Printf.printf "chaos: trace broken: %d/%d closed root spans\n" roots
+        (List.length reports);
+      List.iter (Printf.printf "  %s\n") nesting;
+      exit 1
+    end;
+    Printf.printf "trace: %d closed root spans, nesting OK\n" roots;
     Printf.printf "chaos: all %d transitions verified in %ss\n"
       (List.length reports) (Harness.sec t_run)
 

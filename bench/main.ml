@@ -5,6 +5,7 @@
 
    Usage: dune exec bench/main.exe -- [--quick] [--smoke] [--no-micro]
                                       [--jobs N] [--seed N]
+                                      [--metrics FILE] [--trace FILE]
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
                                               portfolio|chaos|crash] *)
@@ -51,6 +52,29 @@ let seed =
     else find (i + 1)
   in
   find 1
+
+(* --metrics FILE / --trace FILE: enable telemetry for the whole run and
+   write the Prometheus exposition / JSONL spans on exit ("-" = stdout). *)
+let string_flag name =
+  let rec find i =
+    if i + 1 >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
+
+let metrics_out = string_flag "--metrics"
+
+let trace_out = string_flag "--trace"
+
+let write_export dest content =
+  match dest with
+  | "-" -> print_string content
+  | path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
 
 let seeds = if quick then [ 1 ] else [ 1; 2 ]
 
@@ -246,6 +270,12 @@ let run_micro () =
     (List.sort Stdlib.compare !rows)
 
 let () =
+  if metrics_out <> None then Telemetry.Metrics.enable ();
+  if trace_out <> None then Telemetry.Trace.enable ();
   run_experiments ();
   if not no_micro then run_micro ();
+  Option.iter
+    (fun d -> write_export d (Telemetry.Metrics.render ()))
+    metrics_out;
+  Option.iter (fun d -> write_export d (Telemetry.Trace.export_jsonl ())) trace_out;
   print_endline "benchmarks complete."

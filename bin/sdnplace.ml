@@ -42,6 +42,46 @@ let protect body =
     Printf.eprintf "sdnplace: internal error: %s\n%!" (Printexc.to_string exn);
     exit_internal
 
+(* ---------------- telemetry ---------------- *)
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable the telemetry registry and write a Prometheus text \
+           exposition of every metric series to $(docv) on exit ($(b,-) \
+           for stdout).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable tracing and write the recorded spans as JSON lines to \
+           $(docv) on exit ($(b,-) for stdout).")
+
+let write_export dest content =
+  match dest with
+  | "-" -> print_string content
+  | path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content)
+
+(* Exports run even when the body exits through [protect]'s error path:
+   a crashed run's partial metrics are exactly what one wants to see. *)
+let with_telemetry metrics trace body =
+  if metrics <> None then Telemetry.Metrics.enable ();
+  if trace <> None then Telemetry.Trace.enable ();
+  let code = body () in
+  Option.iter (fun d -> write_export d (Telemetry.Metrics.render ())) metrics;
+  Option.iter (fun d -> write_export d (Telemetry.Trace.export_jsonl ())) trace;
+  code
+
 (* ---------------- shared arguments ---------------- *)
 
 let instance_arg =
@@ -131,7 +171,9 @@ let options_of merge slice engine objective time_limit jobs strategy =
 
 (* ---------------- generate ---------------- *)
 
-let generate k policies rules mergeable paths capacity seed slice output =
+let generate metrics trace k policies rules mergeable paths capacity seed slice
+    output =
+  with_telemetry metrics trace @@ fun () ->
   let family =
     {
       Workload.default with
@@ -187,12 +229,13 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesize a benchmark-style instance.")
     Term.(
-      const generate $ k $ policies $ rules $ mergeable $ paths $ capacity
-      $ seed $ slice_flag $ output)
+      const generate $ metrics_arg $ trace_arg $ k $ policies $ rules
+      $ mergeable $ paths $ capacity $ seed $ slice_flag $ output)
 
 (* ---------------- info ---------------- *)
 
-let info_run file =
+let info_run metrics trace file =
+  with_telemetry metrics trace @@ fun () ->
   let inst = Placement.Spec.load file in
   Format.printf "%a@." Placement.Instance.pp inst;
   let layout = Placement.Layout.build inst in
@@ -219,7 +262,7 @@ let info_run file =
 let info_cmd =
   Cmd.v
     (Cmd.info "info" ~doc:"Print instance statistics.")
-    Term.(const info_run $ instance_arg)
+    Term.(const info_run $ metrics_arg $ trace_arg $ instance_arg)
 
 (* ---------------- solve ---------------- *)
 
@@ -244,8 +287,9 @@ let print_solution (sol : Placement.Solution.t) =
       end)
     sol.Placement.Solution.per_switch
 
-let solve_run file merge slice engine objective time_limit jobs strategy
-    show_tables =
+let solve_run metrics trace file merge slice engine objective time_limit jobs
+    strategy show_tables =
+  with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options = options_of merge slice engine objective time_limit jobs strategy in
@@ -273,12 +317,14 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~exits ~doc:"Place the rules and print the result.")
     Term.(
-      const solve_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
-      $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ tables_flag)
+      const solve_run $ metrics_arg $ trace_arg $ instance_arg $ merge_flag
+      $ slice_flag $ engine_arg $ objective_arg $ time_limit_arg $ jobs_arg
+      $ strategy_arg $ tables_flag)
 
 (* ---------------- balance ---------------- *)
 
-let balance_run file time_limit =
+let balance_run metrics trace file time_limit =
+  with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options =
@@ -308,12 +354,15 @@ let balance_cmd =
   Cmd.v
     (Cmd.info "balance" ~exits
        ~doc:"Minimize the maximum per-switch table occupancy (capacity slack).")
-    Term.(const balance_run $ instance_arg $ time_limit_arg)
+    Term.(
+      const balance_run $ metrics_arg $ trace_arg $ instance_arg
+      $ time_limit_arg)
 
 (* ---------------- verify ---------------- *)
 
-let verify_run file merge slice engine objective time_limit jobs strategy
-    samples =
+let verify_run metrics trace file merge slice engine objective time_limit jobs
+    strategy samples =
+  with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options = options_of merge slice engine objective time_limit jobs strategy in
@@ -357,8 +406,9 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify" ~exits ~doc:"Solve and verify the placement end to end.")
     Term.(
-      const verify_run $ instance_arg $ merge_flag $ slice_flag $ engine_arg
-      $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ samples)
+      const verify_run $ metrics_arg $ trace_arg $ instance_arg $ merge_flag
+      $ slice_flag $ engine_arg $ objective_arg $ time_limit_arg $ jobs_arg
+      $ strategy_arg $ samples)
 
 (* ---------------- events ---------------- *)
 
@@ -410,8 +460,10 @@ let summarize_events ?(pre_failed = false) reports eng =
     exit_violations
   end
 
-let events_run file merge slice engine objective time_limit jobs strategy
-    num_events seed fail_rate timeout_rate deadline rules journal resume =
+let events_run metrics trace file merge slice engine objective time_limit jobs
+    strategy num_events seed fail_rate timeout_rate deadline rules journal
+    resume =
+  with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let options = options_of merge slice engine objective time_limit jobs strategy in
   let config =
@@ -573,9 +625,10 @@ let events_cmd =
           logged and snapshotted, and $(b,--resume) continues an \
           interrupted run.")
     Term.(
-      const events_run $ instance $ merge_flag $ slice_flag $ engine_arg
-      $ objective_arg $ time_limit_arg $ jobs_arg $ strategy_arg $ num_events
-      $ seed $ fail_rate $ timeout_rate $ deadline $ rules $ journal $ resume)
+      const events_run $ metrics_arg $ trace_arg $ instance $ merge_flag
+      $ slice_flag $ engine_arg $ objective_arg $ time_limit_arg $ jobs_arg
+      $ strategy_arg $ num_events $ seed $ fail_rate $ timeout_rate $ deadline
+      $ rules $ journal $ resume)
 
 let main_cmd =
   Cmd.group

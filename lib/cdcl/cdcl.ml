@@ -24,6 +24,13 @@ type t = {
   mutable qhead : int;
   mutable var_inc : float;
   mutable conflicts : int;
+  (* Profiling tallies: plain fields (a solver instance is single-domain)
+     bumped in the hot loops, flushed to the telemetry registry once per
+     [solve] call. *)
+  mutable props : int;
+  mutable decisions : int;
+  mutable restarts : int;
+  mutable am_hits : int;
   mutable root_unsat : bool;
   mutable order : int array;  (* vars sorted by activity, refreshed lazily *)
   mutable order_dirty : bool;
@@ -46,6 +53,10 @@ let create () =
     qhead = 0;
     var_inc = 1.0;
     conflicts = 0;
+    props = 0;
+    decisions = 0;
+    restarts = 0;
+    am_hits = 0;
     root_unsat = false;
     order = [||];
     order_dirty = true;
@@ -175,19 +186,25 @@ let propagate s =
     while s.qhead < s.trail_len do
       let p = s.trail.(s.qhead) in
       s.qhead <- s.qhead + 1;
+      s.props <- s.props + 1;
       (* Cardinality constraints containing p (count already bumped by
          [enqueue]). *)
       List.iter
         (fun a ->
-          if a.count > a.bound then raise (Conflict_found (am_conflict_clause s a))
-          else if a.count = a.bound then
+          if a.count > a.bound then begin
+            s.am_hits <- s.am_hits + 1;
+            raise (Conflict_found (am_conflict_clause s a))
+          end
+          else if a.count = a.bound then begin
+            s.am_hits <- s.am_hits + 1;
             Array.iter
               (fun l ->
                 if lit_value s l = -1 then begin
                   let forced = l lxor 1 in
                   enqueue s forced (Some (am_reason s a forced))
                 end)
-              a.alits)
+              a.alits
+          end)
         s.am_occ.(p);
       (* Clauses in which ~p is watched. *)
       let ws = s.watches.(p) in
@@ -380,6 +397,7 @@ let decide s =
   if !chosen < 0 then None
   else begin
     let v = !chosen in
+    s.decisions <- s.decisions + 1;
     let l = if s.phase.(v) then 2 * v else (2 * v) + 1 in
     s.trail_lim <- s.trail_len :: s.trail_lim;
     enqueue s l None;
@@ -395,7 +413,34 @@ let luby i =
   in
   t (i + 1)
 
-let solve ?(conflict_limit = max_int) ?(cancel = fun () -> false) s =
+let m_solves =
+  Telemetry.Metrics.counter ~help:"CDCL solve calls"
+    "sdnplace_cdcl_solves_total"
+
+let m_conflicts =
+  Telemetry.Metrics.counter ~help:"CDCL conflicts" "sdnplace_cdcl_conflicts_total"
+
+let m_props =
+  Telemetry.Metrics.counter ~help:"unit/cardinality propagations"
+    "sdnplace_cdcl_propagations_total"
+
+let m_decisions =
+  Telemetry.Metrics.counter ~help:"decision literals picked"
+    "sdnplace_cdcl_decisions_total"
+
+let m_restarts =
+  Telemetry.Metrics.counter ~help:"Luby restarts" "sdnplace_cdcl_restarts_total"
+
+let m_am_hits =
+  Telemetry.Metrics.counter
+    ~help:"native at-most-k constraints saturating (forcing or conflicting)"
+    "sdnplace_cdcl_atmost_hits_total"
+
+let m_solve_s =
+  Telemetry.Metrics.histogram ~help:"CDCL solve duration"
+    "sdnplace_cdcl_solve_seconds"
+
+let run_solve ?(conflict_limit = max_int) ?(cancel = fun () -> false) s =
   if s.root_unsat then Unsat
   else begin
     cancel_until s 0;
@@ -455,6 +500,7 @@ let solve ?(conflict_limit = max_int) ?(cancel = fun () -> false) s =
         end
       | None ->
         if !local_conflicts >= !restart_budget then begin
+          s.restarts <- s.restarts + 1;
           incr restart_idx;
           restart_budget := !local_conflicts + (64 * luby !restart_idx);
           cancel_until s 0
@@ -470,6 +516,21 @@ let solve ?(conflict_limit = max_int) ?(cancel = fun () -> false) s =
     done;
     !result
   end
+
+let solve ?conflict_limit ?cancel s =
+  Telemetry.Metrics.incr m_solves;
+  let c0 = s.conflicts and p0 = s.props in
+  let d0 = s.decisions and r0 = s.restarts and a0 = s.am_hits in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.Metrics.add m_conflicts (s.conflicts - c0);
+      Telemetry.Metrics.add m_props (s.props - p0);
+      Telemetry.Metrics.add m_decisions (s.decisions - d0);
+      Telemetry.Metrics.add m_restarts (s.restarts - r0);
+      Telemetry.Metrics.add m_am_hits (s.am_hits - a0))
+    (fun () ->
+      Telemetry.Metrics.time m_solve_s (fun () ->
+          run_solve ?conflict_limit ?cancel s))
 
 let pp_result fmt = function
   | Sat _ -> Format.pp_print_string fmt "sat"

@@ -27,6 +27,37 @@ type stats = { nodes : int; lp_calls : int; elapsed : float; root_bound : float 
 
 let eps = 1e-6
 
+(* Telemetry.  Node/LP tallies accumulate in the per-domain [state] and
+   are flushed to the registry once per solve; only the incumbent
+   counter is bumped inline (incumbents are rare by construction). *)
+let m_solves =
+  Telemetry.Metrics.counter ~help:"branch-and-bound solves"
+    "sdnplace_ilp_solves_total"
+
+let m_nodes =
+  Telemetry.Metrics.counter ~help:"branch-and-bound nodes expanded"
+    "sdnplace_ilp_nodes_total"
+
+let m_lp_calls =
+  Telemetry.Metrics.counter ~help:"LP relaxations attempted"
+    "sdnplace_ilp_lp_calls_total"
+
+let m_incumbents =
+  Telemetry.Metrics.counter ~help:"incumbent (improving) solutions found"
+    "sdnplace_ilp_incumbents_total"
+
+let m_solve_s =
+  Telemetry.Metrics.histogram ~help:"ILP solve duration"
+    "sdnplace_ilp_solve_seconds"
+
+let m_lp_s =
+  Telemetry.Metrics.histogram ~help:"LP relaxation duration"
+    "sdnplace_ilp_lp_seconds"
+
+let m_root_bound =
+  Telemetry.Metrics.gauge ~help:"root LP lower bound of the last solve"
+    "sdnplace_ilp_root_bound"
+
 let pp_outcome fmt = function
   | Optimal s -> Format.fprintf fmt "optimal (%g)" s.objective
   | Feasible s -> Format.fprintf fmt "feasible (%g, not proven optimal)" s.objective
@@ -368,7 +399,10 @@ let lp_bound st cfg =
         }
       in
       st.lp_calls <- st.lp_calls + 1;
-      match Simplex.solve ~max_iters:20_000 problem with
+      match
+        Telemetry.Metrics.time m_lp_s (fun () ->
+            Simplex.solve ~max_iters:20_000 problem)
+      with
       | Simplex.Optimal { objective; solution } ->
         Some (st.obj_fixed +. objective, Some (map, solution))
       | Simplex.Infeasible -> raise Conflict
@@ -448,6 +482,7 @@ let rec publish shared objective =
       publish shared objective
 
 let set_best st values objective =
+  Telemetry.Metrics.incr m_incumbents;
   st.best <- Some { values; objective };
   publish st.shared_obj objective
 
@@ -556,15 +591,22 @@ let prepare ~config ~cancel ?warm_start model =
 let solve ?(config = default_config) ?(cancel = fun () -> false) ?warm_start
     model =
   let start = Sys.time () in
+  Telemetry.Metrics.incr m_solves;
   let st, root = prepare ~config ~cancel ?warm_start model in
   let finish outcome =
-    ( outcome,
+    let s =
       {
         nodes = st.nodes;
         lp_calls = st.lp_calls;
         elapsed = Sys.time () -. start;
         root_bound = st.root_bound;
-      } )
+      }
+    in
+    Telemetry.Metrics.add m_nodes s.nodes;
+    Telemetry.Metrics.add m_lp_calls s.lp_calls;
+    Telemetry.Metrics.observe m_solve_s s.elapsed;
+    Telemetry.Metrics.set m_root_bound s.root_bound;
+    (outcome, s)
   in
   match root with
   | `Settled outcome -> finish outcome
@@ -631,15 +673,22 @@ let solve_parallel ?(config = default_config) ?(jobs = 1)
   if jobs <= 1 then solve ~config ~cancel ?warm_start model
   else begin
     let wall0 = Unix.gettimeofday () in
+    Telemetry.Metrics.incr m_solves;
     let st, root = prepare ~config ~cancel ?warm_start model in
     let finish ?(extra_nodes = 0) ?(extra_lp = 0) outcome =
-      ( outcome,
+      let s =
         {
           nodes = st.nodes + extra_nodes;
           lp_calls = st.lp_calls + extra_lp;
           elapsed = Unix.gettimeofday () -. wall0;
           root_bound = st.root_bound;
-        } )
+        }
+      in
+      Telemetry.Metrics.add m_nodes s.nodes;
+      Telemetry.Metrics.add m_lp_calls s.lp_calls;
+      Telemetry.Metrics.observe m_solve_s s.elapsed;
+      Telemetry.Metrics.set m_root_bound s.root_bound;
+      (outcome, s)
     in
     match root with
     | `Settled outcome -> finish outcome

@@ -15,6 +15,74 @@ type config = { snapshot_every : int }
 
 let default_config = { snapshot_every = 8 }
 
+(* Registry-backed observability: the journal's durability work used to
+   be visible only through ad-hoc counters inside the store; these
+   series are the process-wide aggregate, and [global_stats] is the thin
+   record view over them. *)
+let m_appends =
+  Telemetry.Metrics.counter ~help:"WAL records appended"
+    "sdnplace_journal_appends_total"
+
+let m_wal_bytes =
+  Telemetry.Metrics.counter ~help:"WAL bytes written"
+    "sdnplace_journal_wal_bytes_total"
+
+let m_fsyncs =
+  Telemetry.Metrics.counter ~help:"WAL durability barriers issued"
+    "sdnplace_journal_fsyncs_total"
+
+let m_fsync_s =
+  Telemetry.Metrics.histogram ~help:"WAL fsync latency"
+    "sdnplace_journal_fsync_seconds"
+
+let m_snapshots =
+  Telemetry.Metrics.counter ~help:"full-state snapshots written"
+    "sdnplace_journal_snapshots_total"
+
+let m_snapshot_s =
+  Telemetry.Metrics.histogram ~help:"snapshot write + compaction latency"
+    "sdnplace_journal_snapshot_seconds"
+
+let m_compactions =
+  Telemetry.Metrics.counter ~help:"log truncations after a snapshot"
+    "sdnplace_journal_compactions_total"
+
+let m_recoveries =
+  Telemetry.Metrics.counter ~help:"successful crash recoveries"
+    "sdnplace_journal_recoveries_total"
+
+let m_replayed =
+  Telemetry.Metrics.counter ~help:"events re-executed during recovery"
+    "sdnplace_journal_replayed_events_total"
+
+let m_dropped =
+  Telemetry.Metrics.counter ~help:"torn/corrupt WAL tail bytes truncated"
+    "sdnplace_journal_dropped_bytes_total"
+
+type stats = {
+  appends : int;
+  wal_bytes : int;
+  fsyncs : int;
+  snapshots : int;
+  compactions : int;
+  recoveries : int;
+  replayed_events : int;
+  dropped_bytes : int;
+}
+
+let global_stats () =
+  let v = Telemetry.Metrics.counter_value in
+  {
+    appends = v m_appends;
+    wal_bytes = v m_wal_bytes;
+    fsyncs = v m_fsyncs;
+    snapshots = v m_snapshots;
+    compactions = v m_compactions;
+    recoveries = v m_recoveries;
+    replayed_events = v m_replayed;
+    dropped_bytes = v m_dropped;
+  }
+
 type t = {
   store : Store.t;
   journal : config;
@@ -40,10 +108,16 @@ type snap = {
 let snap_version = 1
 
 let append_record t r =
-  t.store.Store.wal_append (Wal.encode r);
-  t.store.Store.wal_sync ()
+  let bytes = Wal.encode r in
+  Telemetry.Metrics.incr m_appends;
+  Telemetry.Metrics.add m_wal_bytes (String.length bytes);
+  t.store.Store.wal_append bytes;
+  Telemetry.Metrics.incr m_fsyncs;
+  Telemetry.Metrics.time m_fsync_s t.store.Store.wal_sync
 
 let snapshot_now t =
+  Telemetry.Metrics.incr m_snapshots;
+  Telemetry.Metrics.time m_snapshot_s @@ fun () ->
   let blob =
     Wal.frame
       (Marshal.to_string
@@ -60,6 +134,7 @@ let snapshot_now t =
      any record whose seq the snapshot already includes. *)
   t.store.Store.snap_write blob;
   t.store.Store.wal_reset ();
+  Telemetry.Metrics.incr m_compactions;
   t.since_snapshot <- 0
 
 let create ?config ?(journal = default_config) ?fault ?now ?(kill = fun _ -> ())
@@ -70,6 +145,7 @@ let create ?config ?(journal = default_config) ?fault ?now ?(kill = fun _ -> ())
   t
 
 let handle ?client t event =
+  Telemetry.Trace.with_span "journal.event" @@ fun () ->
   t.kill Before_begin;
   let seq = t.seq + 1 in
   append_record t (Wal.Ev_begin { seq; event; client });
@@ -226,6 +302,9 @@ let recover ?config ?(journal = default_config) ?now ?(kill = fun _ -> ()) ~stor
     (* Re-snapshot and compact so recovering twice in a row is a no-op
        on an empty log. *)
     snapshot_now t;
+    Telemetry.Metrics.incr m_recoveries;
+    Telemetry.Metrics.add m_replayed (List.length !replayed);
+    Telemetry.Metrics.add m_dropped dropped_bytes;
     Ok
       {
         journaled = t;

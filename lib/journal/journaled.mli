@@ -47,6 +47,23 @@ type config = {
 
 val default_config : config
 
+type stats = {
+  appends : int;  (** WAL records appended *)
+  wal_bytes : int;  (** WAL bytes written *)
+  fsyncs : int;  (** durability barriers issued *)
+  snapshots : int;  (** full-state snapshots written *)
+  compactions : int;  (** log truncations after a snapshot *)
+  recoveries : int;  (** successful {!recover} calls *)
+  replayed_events : int;  (** events re-executed during recovery *)
+  dropped_bytes : int;  (** torn/corrupt tail bytes truncated *)
+}
+
+val global_stats : unit -> stats
+(** Process-wide journal tallies, read back from the telemetry registry
+    (zeros while telemetry is disabled).  Latency distributions live in
+    the [sdnplace_journal_fsync_seconds] and
+    [sdnplace_journal_snapshot_seconds] histograms. *)
+
 type t
 
 val create :

@@ -1,5 +1,17 @@
 type encoding = [ `Native | `Sequential ]
 
+let m_clauses =
+  Telemetry.Metrics.counter ~help:"clauses added through the PB layer"
+    "sdnplace_pb_clauses_total"
+
+let m_at_most =
+  Telemetry.Metrics.counter ~help:"at-most-k constraints encoded"
+    "sdnplace_pb_atmost_constraints_total"
+
+let m_aux =
+  Telemetry.Metrics.counter ~help:"auxiliary variables minted by encodings"
+    "sdnplace_pb_aux_vars_total"
+
 type t = {
   solver : Cdcl.t;
   encoding : encoding;
@@ -16,13 +28,16 @@ let fresh t =
 
 let fresh_aux t =
   t.aux_vars <- t.aux_vars + 1;
+  Telemetry.Metrics.incr m_aux;
   Cdcl.new_var t.solver
 
 let num_vars t = t.problem_vars
 
 let num_aux t = t.aux_vars
 
-let add_clause t lits = Cdcl.add_clause t.solver lits
+let add_clause t lits =
+  Telemetry.Metrics.incr m_clauses;
+  Cdcl.add_clause t.solver lits
 
 (* Sinz's LTSeq sequential-counter encoding of  sum(lits) <= k:
    register s.(i).(j) = "at least j+1 of the first i+1 literals are true". *)
@@ -50,6 +65,7 @@ let sequential_at_most t lits k =
   end
 
 let at_most t lits k =
+  Telemetry.Metrics.incr m_at_most;
   match t.encoding with
   | `Native -> Cdcl.add_at_most t.solver lits k
   | `Sequential -> sequential_at_most t lits k

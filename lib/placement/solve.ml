@@ -5,6 +5,47 @@ type engine =
   | Portfolio_engine
   | Auto_engine
 
+let m_runs =
+  Telemetry.Metrics.counter ~help:"placement pipeline runs"
+    "sdnplace_solve_runs_total"
+
+let stage_seconds stage =
+  Telemetry.Metrics.histogram ~help:"pipeline stage CPU time by stage"
+    ~labels:[ ("stage", stage) ]
+    "sdnplace_solve_stage_seconds"
+
+(* Static registration so every series exists (at zero) from process
+   start, portfolio or not. *)
+let m_stage_redundancy = stage_seconds "redundancy"
+
+let m_stage_plan = stage_seconds "merge_plan"
+
+let m_stage_layout = stage_seconds "layout"
+
+let m_stage_solve = stage_seconds "solve"
+
+let m_status name =
+  Telemetry.Metrics.counter ~help:"pipeline results by status"
+    ~labels:[ ("status", name) ]
+    "sdnplace_solve_status_total"
+
+let m_status_optimal = m_status "optimal"
+
+let m_status_feasible = m_status "feasible"
+
+let m_status_infeasible = m_status "infeasible"
+
+let m_status_unknown = m_status "unknown"
+
+let m_winner name =
+  Telemetry.Metrics.counter ~help:"portfolio winner attribution"
+    ~labels:[ ("engine", name) ]
+    "sdnplace_solve_winner_total"
+
+let m_winner_ilp = m_winner "ilp"
+
+let m_winner_sat = m_winner "sat"
+
 type options = {
   redundancy : bool;
   merge : bool;
@@ -341,10 +382,13 @@ let run ?(options = default_options) ?deadline ?cancel inst =
     (match cancel with Some c -> c () | None -> false)
     || match deadline with Some d -> Unix.gettimeofday () > d | None -> false
   in
+  Telemetry.Metrics.incr m_runs;
+  Telemetry.Trace.with_span "solve.run" @@ fun () ->
   let t0 = Sys.time () in
   (* Stage 1 (optional): redundancy removal, per policy. *)
   let removed = ref 0 in
   let inst =
+    Telemetry.Trace.with_span "solve.redundancy" @@ fun () ->
     if options.redundancy then
       Instance.map_policies inst (fun _ q ->
           let q', report = Acl.Redundancy.remove q in
@@ -356,16 +400,19 @@ let run ?(options = default_options) ?deadline ?cancel inst =
   (* Stage 2 (optional): merge planning with cycle breaking. *)
   let inst_pre_plan = inst in
   let inst, plan =
+    Telemetry.Trace.with_span "solve.merge_plan" @@ fun () ->
     if options.merge then Merge.plan inst else (inst, Merge.empty_plan)
   in
   let t2 = Sys.time () in
   (* Stage 3: dependency graphs + constraint layout. *)
   let layout =
+    Telemetry.Trace.with_span "solve.layout" @@ fun () ->
     Layout.build ~sliced:options.slice ~plan ~monitors:options.monitors inst
   in
   let t3 = Sys.time () in
   (* Stage 4: solve. *)
   let verdict, winner =
+    Telemetry.Trace.with_span "solve.engine" @@ fun () ->
     match resolve_engine options layout with
     | Ilp_engine ->
       (run_ilp ~jobs:options.jobs ~cancel:stop options inst_pre_plan layout, None)
@@ -399,6 +446,21 @@ let run ?(options = default_options) ?deadline ?cancel inst =
     | Auto_engine -> assert false (* resolved above *)
   in
   let t4 = Sys.time () in
+  Telemetry.Metrics.observe m_stage_redundancy (t1 -. t0);
+  Telemetry.Metrics.observe m_stage_plan (t2 -. t1);
+  Telemetry.Metrics.observe m_stage_layout (t3 -. t2);
+  Telemetry.Metrics.observe m_stage_solve (t4 -. t3);
+  Telemetry.Metrics.incr
+    (match verdict.v_status with
+    | `Optimal -> m_status_optimal
+    | `Feasible -> m_status_feasible
+    | `Infeasible -> m_status_infeasible
+    | `Unknown -> m_status_unknown);
+  (match winner with
+  | Some "ilp" -> Telemetry.Metrics.incr m_winner_ilp
+  | Some "sat" -> Telemetry.Metrics.incr m_winner_sat
+  | Some other -> Telemetry.Metrics.incr (m_winner other)
+  | None -> ());
   {
     status = verdict.v_status;
     solution = verdict.v_solution;

@@ -1,13 +1,55 @@
+let m_races =
+  Telemetry.Metrics.counter ~help:"portfolio races run"
+    "sdnplace_portfolio_races_total"
+
+let m_entrant_s =
+  Telemetry.Metrics.histogram ~help:"per-entrant race wall time"
+    "sdnplace_portfolio_entrant_seconds"
+
+let m_cancel_exit_s =
+  Telemetry.Metrics.histogram
+    ~help:"loser latency from cancellation to cooperative exit"
+    "sdnplace_portfolio_cancel_to_exit_seconds"
+
+(* Winner attribution, one series per engine name; registered lazily on
+   first win (registration is idempotent and mutex-protected).  The
+   stack's two standing entrants are registered eagerly so their series
+   exist (at zero) in every linked binary — which is what lets the
+   exposition checker know the full series set without running a race. *)
+let won name =
+  Telemetry.Metrics.incr
+    (Telemetry.Metrics.counter ~help:"definitive race results by engine"
+       ~labels:[ ("engine", name) ]
+       "sdnplace_portfolio_definitive_total")
+
+let () =
+  List.iter
+    (fun name ->
+      ignore
+        (Telemetry.Metrics.counter ~help:"definitive race results by engine"
+           ~labels:[ ("engine", name) ]
+           "sdnplace_portfolio_definitive_total"))
+    [ "ilp"; "sat" ]
+
 module Cancel = struct
-  type t = bool Atomic.t
+  (* The flag stays a single atomic bool for the pollers; the fire
+     timestamp is written exactly once (by whoever wins the CAS) so
+     losers can report their cancel-to-exit latency. *)
+  type t = { flag : bool Atomic.t; fired_at : float Atomic.t }
 
-  let create () = Atomic.make false
+  let create () = { flag = Atomic.make false; fired_at = Atomic.make Float.nan }
 
-  let fire t = Atomic.set t true
+  let fire t =
+    if Atomic.compare_and_set t.flag false true then
+      Atomic.set t.fired_at (Unix.gettimeofday ())
 
-  let fired t = Atomic.get t
+  let fired t = Atomic.get t.flag
 
-  let hook t () = Atomic.get t
+  let fired_at t =
+    let ts = Atomic.get t.fired_at in
+    if Float.is_nan ts then None else Some ts
+
+  let hook t () = Atomic.get t.flag
 end
 
 type 'a entrant = { name : string; run : cancel:(unit -> bool) -> 'a }
@@ -17,13 +59,19 @@ type 'a finish = {
   result : 'a;
   definitive : bool;
   wall_s : float;
+  cancel_to_exit_s : float option;
 }
 
 let race ~definitive entrants =
   match entrants with
   | [] -> []
   | first :: rest ->
+    Telemetry.Metrics.incr m_races;
     let token = Cancel.create () in
+    (* Entrant spans run on spawned domains, whose span scope is empty;
+       capture the caller's current span here so they still nest under
+       the solve that started the race. *)
+    let parent = Telemetry.Trace.current () in
     (* [run] must never raise: a domain that dies with an exception
        before firing the token would leave the other entrants spinning
        on a cancel hook nobody will ever trip.  Everything the entrant
@@ -32,23 +80,44 @@ let race ~definitive entrants =
        back as a value to be re-raised only after every domain has been
        joined. *)
     let run e =
+      let sp = Telemetry.Trace.start ?parent "portfolio.entrant" in
+      Telemetry.Trace.add_attr sp "engine" e.name;
       let t0 = Unix.gettimeofday () in
       match
         let result = e.run ~cancel:(Cancel.hook token) in
         (result, definitive result)
       with
       | result, d ->
-        if d then Cancel.fire token;
+        if d then begin
+          Cancel.fire token;
+          won e.name
+        end;
+        let t1 = Unix.gettimeofday () in
+        (* A loser that observed the token reports how long it took to
+           unwind from the fire to its return — the cooperative-cancel
+           latency the [?cancel] polling loops are supposed to bound. *)
+        let cancel_to_exit_s =
+          match Cancel.fired_at token with
+          | Some tf when not d -> Some (Float.max 0.0 (t1 -. tf))
+          | _ -> None
+        in
+        Telemetry.Metrics.observe m_entrant_s (t1 -. t0);
+        (match cancel_to_exit_s with
+        | Some dt -> Telemetry.Metrics.observe m_cancel_exit_s dt
+        | None -> ());
+        Telemetry.Trace.finish sp;
         Ok
           {
             from = e.name;
             result;
             definitive = d;
-            wall_s = Unix.gettimeofday () -. t0;
+            wall_s = t1 -. t0;
+            cancel_to_exit_s;
           }
       | exception exn ->
         (* Unblock the other entrants before reporting the failure. *)
         Cancel.fire token;
+        Telemetry.Trace.finish sp;
         Error exn
     in
     (* Spawn defensively: if the runtime refuses a domain partway

@@ -26,6 +26,9 @@ module Cancel : sig
 
   val fired : t -> bool
 
+  val fired_at : t -> float option
+  (** Wall-clock time ([Unix.gettimeofday]) at which the token fired. *)
+
   val hook : t -> unit -> bool
   (** The token as a [cancel] closure for the solver APIs. *)
 end
@@ -41,6 +44,12 @@ type 'a finish = {
   result : 'a;
   definitive : bool;  (** this result settled the race *)
   wall_s : float;  (** entrant wall-clock time *)
+  cancel_to_exit_s : float option;
+      (** for a loser that observed the cancellation token: wall-clock
+          latency from the token firing to this entrant's return — the
+          cooperative-cancellation lag of its [?cancel] polling loop.
+          [None] for the winner and for entrants that finished before
+          (or without) any cancellation. *)
 }
 
 val race : definitive:('a -> bool) -> 'a entrant list -> 'a finish list

@@ -19,6 +19,44 @@ let default_config =
     verify_seed = 0x5EED;
   }
 
+let m_rung name =
+  Telemetry.Metrics.counter ~help:"events by degradation-ladder rung reached"
+    ~labels:[ ("rung", name) ]
+    "sdnplace_runtime_events_total"
+
+let m_rung_noop = m_rung "noop"
+
+let m_rung_incremental = m_rung "incremental"
+
+let m_rung_full = m_rung "full_resolve"
+
+let m_rung_greedy = m_rung "greedy"
+
+let m_rung_quarantine = m_rung "quarantine"
+
+let rung_counter = function
+  | Report.Noop -> m_rung_noop
+  | Report.Incremental -> m_rung_incremental
+  | Report.Full_resolve -> m_rung_full
+  | Report.Greedy -> m_rung_greedy
+  | Report.Quarantine -> m_rung_quarantine
+
+let m_event_s =
+  Telemetry.Metrics.histogram ~help:"per-event reconciliation wall time"
+    "sdnplace_runtime_event_seconds"
+
+let m_rollbacks =
+  Telemetry.Metrics.counter ~help:"transactions rolled back"
+    "sdnplace_runtime_rollbacks_total"
+
+let m_quarantined =
+  Telemetry.Metrics.counter ~help:"ingresses newly fenced into quarantine"
+    "sdnplace_runtime_quarantined_ingresses_total"
+
+let m_verify_failures =
+  Telemetry.Metrics.counter ~help:"events failing post-event verification"
+    "sdnplace_runtime_verify_failures_total"
+
 (* A fenced ingress: the paths and probe packets remembered at quarantine
    time, so fail-closed verification keeps working after the policy is
    stripped from the good solution. *)
@@ -593,6 +631,7 @@ let target_tables t sol quarantine =
 (* Verification                                                        *)
 
 let verify t =
+  Telemetry.Trace.with_span "runtime.verify" @@ fun () ->
   try
     let sol = t.good in
     let inst = sol.Solution.instance in
@@ -652,6 +691,10 @@ type tx_observer = {
 }
 
 let handle ?tx t event =
+  Telemetry.Trace.with_span "runtime.event" @@ fun () ->
+  (match Telemetry.Trace.current () with
+  | Some sp -> Telemetry.Trace.add_attr sp "event" (Event.describe event)
+  | None -> ());
   let t0 = t.now () in
   let s = Switch_api.stats t.api in
   let a0 = s.Switch_api.attempts
@@ -661,12 +704,21 @@ let handle ?tx t event =
   and x0 = s.Switch_api.forced_resyncs in
   let finish ~rung ~status ~applied ~newq ~verified =
     let s = Switch_api.stats t.api in
+    let newly_quarantined = sort_uniq newq in
+    let wall_s = t.now () -. t0 in
+    Telemetry.Metrics.incr (rung_counter rung);
+    Telemetry.Metrics.observe m_event_s wall_s;
+    Telemetry.Metrics.add m_quarantined (List.length newly_quarantined);
+    if not verified then Telemetry.Metrics.incr m_verify_failures;
+    (match Telemetry.Trace.current () with
+    | Some sp -> Telemetry.Trace.add_attr sp "rung" (Report.rung_name rung)
+    | None -> ());
     {
       Report.event = Event.describe event;
       rung;
       solve_status = status;
       applied;
-      newly_quarantined = sort_uniq newq;
+      newly_quarantined;
       quarantined = quarantined t;
       verified;
       entries = live_entries t;
@@ -675,15 +727,18 @@ let handle ?tx t event =
       timeouts = s.Switch_api.timeouts - o0;
       retries = s.Switch_api.retries - r0;
       forced_resyncs = s.Switch_api.forced_resyncs - x0;
-      wall_s = t.now () -. t0;
+      wall_s;
     }
   in
-  match plan t event with
+  match Telemetry.Trace.with_span "runtime.plan" (fun () -> plan t event) with
   | Error reason ->
     finish ~rung:Report.Noop ~status:("rejected: " ^ reason)
       ~applied:Report.Kept_last_good ~newq:[] ~verified:(verify t)
   | Ok goal -> (
-    match solve_target t goal ~t0 with
+    match
+      Telemetry.Trace.with_span "runtime.ladder" (fun () ->
+          solve_target t goal ~t0)
+    with
     | None ->
       (* Every solve rung failed: fail closed. *)
       let newq = quarantine_now t goal in
@@ -716,7 +771,10 @@ let handle ?tx t event =
       let observe =
         Option.map (fun o ~switch ~op -> o.on_op ~switch ~op) tx
       in
-      match Transaction.apply ?observe ~api:t.api target with
+      match
+        Telemetry.Trace.with_span "runtime.tx" (fun () ->
+            Transaction.apply ?observe ~api:t.api target)
+      with
       | Transaction.Committed ->
         (match tx with Some o -> o.on_commit () | None -> ());
         t.good <- sol;
@@ -727,6 +785,7 @@ let handle ?tx t event =
       | Transaction.Rolled_back { switch; op } ->
         (* Tables are byte-identical to the pre-event state; fail closed
            on everything the event touched. *)
+        Telemetry.Metrics.incr m_rollbacks;
         let newq = quarantine_now t goal in
         finish ~rung ~status
           ~applied:(Report.Rolled_back (Printf.sprintf "%s@%d" op switch))

@@ -25,6 +25,54 @@ type stats = {
   mutable max_op_backoff_s : float;
 }
 
+(* The registry is fed at the same mutation points as the per-instance
+   record.  The record stays: it is the per-event-delta and journal-
+   persisted (Marshal) view; the registry is the process-wide aggregate
+   across every api instance.  [global_stats] reads the aggregate back
+   in the same record shape. *)
+let m_attempts =
+  Telemetry.Metrics.counter ~help:"switch ops sent, retries included"
+    "sdnplace_switch_attempts_total"
+
+let m_failures =
+  Telemetry.Metrics.counter ~help:"attempts rejected by the fault plan"
+    "sdnplace_switch_failures_total"
+
+let m_timeouts =
+  Telemetry.Metrics.counter ~help:"attempts timed out by the fault plan"
+    "sdnplace_switch_timeouts_total"
+
+let m_retries =
+  Telemetry.Metrics.counter ~help:"re-sends after a failed attempt"
+    "sdnplace_switch_retries_total"
+
+let m_gave_up =
+  Telemetry.Metrics.counter ~help:"operations that exhausted their retries"
+    "sdnplace_switch_gave_up_total"
+
+let m_forced =
+  Telemetry.Metrics.counter ~help:"forced full-table resyncs"
+    "sdnplace_switch_forced_resyncs_total"
+
+let m_op_backoff_s =
+  Telemetry.Metrics.histogram
+    ~help:"simulated per-operation backoff (only ops that backed off)"
+    ~buckets:[| 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
+    "sdnplace_switch_op_backoff_seconds"
+
+let global_stats () =
+  {
+    attempts = Telemetry.Metrics.counter_value m_attempts;
+    failures = Telemetry.Metrics.counter_value m_failures;
+    timeouts = Telemetry.Metrics.counter_value m_timeouts;
+    retries = Telemetry.Metrics.counter_value m_retries;
+    gave_up = Telemetry.Metrics.counter_value m_gave_up;
+    forced_resyncs = Telemetry.Metrics.counter_value m_forced;
+    backoff_s = (Telemetry.Metrics.snapshot m_op_backoff_s).Telemetry.Metrics.sum;
+    last_op_backoff_s = 0.0;
+    max_op_backoff_s = 0.0;
+  }
+
 type t = {
   live : Netsim.entry list array;
   fault : Fault_plan.t;
@@ -66,20 +114,27 @@ let attempt t ~switch apply =
   let acc = ref 0.0 in
   let rec go tries backoff =
     t.stats.attempts <- t.stats.attempts + 1;
+    Telemetry.Metrics.incr m_attempts;
     match Fault_plan.draw t.fault ~switch with
     | Fault_plan.Ok ->
       apply ();
       true
     | (Fault_plan.Fail | Fault_plan.Timeout) as o ->
       (match o with
-      | Fault_plan.Fail -> t.stats.failures <- t.stats.failures + 1
-      | _ -> t.stats.timeouts <- t.stats.timeouts + 1);
+      | Fault_plan.Fail ->
+        t.stats.failures <- t.stats.failures + 1;
+        Telemetry.Metrics.incr m_failures
+      | _ ->
+        t.stats.timeouts <- t.stats.timeouts + 1;
+        Telemetry.Metrics.incr m_timeouts);
       if tries >= t.config.max_retries then begin
         t.stats.gave_up <- t.stats.gave_up + 1;
+        Telemetry.Metrics.incr m_gave_up;
         false
       end
       else begin
         t.stats.retries <- t.stats.retries + 1;
+        Telemetry.Metrics.incr m_retries;
         (* Clamp the per-operation accumulation: a huge [max_retries]
            (or an unbounded [max_backoff_s]) must neither overflow the
            float accounting nor blow the operation's delay budget. *)
@@ -92,6 +147,7 @@ let attempt t ~switch apply =
   t.stats.last_op_backoff_s <- !acc;
   if !acc > t.stats.max_op_backoff_s then t.stats.max_op_backoff_s <- !acc;
   t.stats.backoff_s <- t.stats.backoff_s +. !acc;
+  if !acc > 0.0 then Telemetry.Metrics.observe m_op_backoff_s !acc;
   ok
 
 let install t ~switch entry =
@@ -113,4 +169,5 @@ let delete t ~switch entry =
 
 let force_set t ~switch table =
   t.stats.forced_resyncs <- t.stats.forced_resyncs + 1;
+  Telemetry.Metrics.incr m_forced;
   t.live.(switch) <- table

@@ -55,6 +55,14 @@ val snapshot : t -> Netsim.entry list array
 (** Deep-enough copy: a fresh array of the per-switch entry lists. *)
 
 val stats : t -> stats
+(** This api instance's own tallies (the journal-persisted view). *)
+
+val global_stats : unit -> stats
+(** Process-wide aggregate across every api instance, read back from the
+    telemetry registry (zeros while telemetry is disabled).  The
+    [last_op_backoff_s] / [max_op_backoff_s] fields are per-instance
+    notions and read 0 in this view; the backoff distribution lives in
+    the [sdnplace_switch_op_backoff_seconds] histogram. *)
 
 val install : t -> switch:int -> Netsim.entry -> bool
 (** Append the entry to the switch's table (retrying on faults); [false]

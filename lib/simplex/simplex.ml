@@ -18,6 +18,33 @@ type status =
 let eps = 1e-7
 let pivot_tol = 1e-8
 
+(* Telemetry: per-solve counts accumulate in the (domain-local) tableau
+   and are flushed to the shared registry once per solve, so the hot
+   pivot loops never touch an atomic. *)
+let m_solves =
+  Telemetry.Metrics.counter ~help:"LP solves started"
+    "sdnplace_simplex_solves_total"
+
+let m_pivots =
+  Telemetry.Metrics.counter ~help:"simplex basis pivots"
+    "sdnplace_simplex_pivots_total"
+
+let m_flips =
+  Telemetry.Metrics.counter ~help:"nonbasic bound flips (no basis change)"
+    "sdnplace_simplex_bound_flips_total"
+
+let m_iterations =
+  Telemetry.Metrics.counter ~help:"simplex iterations across both phases"
+    "sdnplace_simplex_iterations_total"
+
+let m_phase1_s =
+  Telemetry.Metrics.histogram ~help:"phase-1 (feasibility) duration"
+    "sdnplace_simplex_phase1_seconds"
+
+let m_phase2_s =
+  Telemetry.Metrics.histogram ~help:"phase-2 (optimality) duration"
+    "sdnplace_simplex_phase2_seconds"
+
 let pp_status fmt = function
   | Optimal { objective; _ } -> Format.fprintf fmt "optimal (%g)" objective
   | Infeasible -> Format.pp_print_string fmt "infeasible"
@@ -70,6 +97,8 @@ type tableau = {
   basis : int array;
   ub : float array;  (** ncols *)
   flipped : bool array;
+  mutable n_pivots : int;
+  mutable n_flips : int;
 }
 
 let build p =
@@ -126,11 +155,13 @@ let build p =
         basis.(i) <- !next_art;
         incr next_art))
     norm;
-  { m; ncols; n_struct; first_artificial; t; b; basis; ub; flipped = Array.make ncols false }
+  { m; ncols; n_struct; first_artificial; t; b; basis; ub;
+    flipped = Array.make ncols false; n_pivots = 0; n_flips = 0 }
 
 (* Reflect nonbasic column [j] through its (finite) upper bound: the
    variable moves to the other bound without a basis change. *)
 let bound_flip tab j =
+  tab.n_flips <- tab.n_flips + 1;
   let u = tab.ub.(j) in
   for i = 0 to tab.m - 1 do
     tab.b.(i) <- tab.b.(i) -. (tab.t.(i).(j) *. u);
@@ -152,6 +183,7 @@ let flip_basic tab r =
   tab.flipped.(v) <- not tab.flipped.(v)
 
 let pivot tab cost r j =
+  tab.n_pivots <- tab.n_pivots + 1;
   let row = tab.t.(r) in
   let piv = row.(j) in
   let inv = 1.0 /. piv in
@@ -292,10 +324,12 @@ let run_phase tab cost ~allowed ~iters_left =
 
 let solve ?(max_iters = 50_000) p =
   validate p;
+  Telemetry.Metrics.incr m_solves;
   let tab = build p in
   let iters_left = ref max_iters in
   (* Phase 1: minimize the sum of artificials. *)
   let phase2 () =
+    Telemetry.Metrics.time m_phase2_s @@ fun () ->
     let cost2 = Array.make tab.ncols 0.0 in
     List.iter
       (fun (j, c) -> cost2.(j) <- cost2.(j) +. c)
@@ -323,6 +357,7 @@ let solve ?(max_iters = 50_000) p =
       Optimal { objective; solution = x }
     | other -> other
   in
+  let result =
   if tab.first_artificial = tab.ncols then phase2 ()
   else begin
     let cost1 = Array.make tab.ncols 0.0 in
@@ -330,7 +365,10 @@ let solve ?(max_iters = 50_000) p =
       cost1.(j) <- 1.0
     done;
     eliminate_basics tab cost1;
-    match run_phase tab cost1 ~allowed:(fun _ -> true) ~iters_left with
+    match
+      Telemetry.Metrics.time m_phase1_s (fun () ->
+          run_phase tab cost1 ~allowed:(fun _ -> true) ~iters_left)
+    with
     | Optimal _ ->
       let infeas = ref 0.0 in
       for i = 0 to tab.m - 1 do
@@ -360,3 +398,8 @@ let solve ?(max_iters = 50_000) p =
       Infeasible
     | other -> other
   end
+  in
+  Telemetry.Metrics.add m_pivots tab.n_pivots;
+  Telemetry.Metrics.add m_flips tab.n_flips;
+  Telemetry.Metrics.add m_iterations (max_iters - !iters_left);
+  result

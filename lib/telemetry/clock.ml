@@ -1,0 +1,15 @@
+(* Injectable wall clock shared by the metrics and tracing layers.
+
+   The default reads [Unix.gettimeofday]; tests and deterministic
+   replays install a fake clock so span timestamps (and anything else
+   derived from time) are reproducible.  The closure lives in an
+   [Atomic] so a clock swap is safe with respect to concurrent domains
+   reading it. *)
+
+let clock : (unit -> float) Atomic.t = Atomic.make Unix.gettimeofday
+
+let now () = (Atomic.get clock) ()
+
+let set f = Atomic.set clock f
+
+let reset () = Atomic.set clock Unix.gettimeofday

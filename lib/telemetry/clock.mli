@@ -1,0 +1,11 @@
+(** Injectable wall clock shared by {!Metrics} and {!Trace}. *)
+
+val now : unit -> float
+(** Current time in seconds, from the installed clock (default:
+    [Unix.gettimeofday]). *)
+
+val set : (unit -> float) -> unit
+(** Install a replacement clock (e.g. a deterministic fake for tests). *)
+
+val reset : unit -> unit
+(** Restore the default [Unix.gettimeofday] clock. *)

@@ -30,4 +30,5 @@ let () =
       ("transaction-props", Test_transaction_props.suite);
       ("journal", Test_journal.suite);
       ("properties", Test_properties.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

@@ -170,6 +170,39 @@ let test_race_cancels_loser () =
       (spin.Portfolio.result = `Cancelled && not spin.Portfolio.definitive)
   | _ -> Alcotest.fail "race lost a finish"
 
+(* Losers record how long they took to exit after the cancel token
+   fired; a cooperative loser that polls its [?cancel] hook must be
+   bounded, and the winner (which fired the token) must record nothing. *)
+let test_race_records_cancel_latency () =
+  let finishes =
+    Portfolio.race
+      ~definitive:(fun r -> r = `Win)
+      [
+        { Portfolio.name = "fast"; run = (fun ~cancel:_ -> `Win) };
+        {
+          Portfolio.name = "coop";
+          run =
+            (fun ~cancel ->
+              while not (cancel ()) do
+                Domain.cpu_relax ()
+              done;
+              `Cancelled);
+        };
+      ]
+  in
+  match finishes with
+  | [ fast; coop ] ->
+    Alcotest.(check bool) "winner records no cancel latency" true
+      (fast.Portfolio.cancel_to_exit_s = None);
+    (match coop.Portfolio.cancel_to_exit_s with
+    | None -> Alcotest.fail "loser cancel-to-exit latency not recorded"
+    | Some dt ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cancel-to-exit bounded (%.6fs)" dt)
+        true
+        (dt >= 0.0 && dt <= 5.0))
+  | _ -> Alcotest.fail "race lost a finish"
+
 (* A [definitive] callback that raises is an entrant failure like any
    other: the token must fire (or the spinning loser would never stop —
    with the calling domain dead, a leaked domain and a lost exception)
@@ -259,6 +292,8 @@ let suite =
     Alcotest.test_case "pre-fired cancel stops CDCL" `Quick
       test_prefired_cancel_stops_cdcl;
     Alcotest.test_case "race cancels the loser" `Quick test_race_cancels_loser;
+    Alcotest.test_case "race records bounded loser cancel-to-exit latency"
+      `Quick test_race_records_cancel_latency;
     Alcotest.test_case "race re-raises entrant exceptions" `Quick
       test_race_propagates_exception;
     Alcotest.test_case "race survives a raising definitive callback" `Quick

@@ -1,0 +1,308 @@
+(* The telemetry subsystem: counter/gauge/histogram semantics must hold
+   under concurrent domain writers, merging histogram snapshots must
+   equal recording the union of the observation streams, span trees must
+   nest with seed-deterministic ids, and — the load-bearing guarantee —
+   enabling telemetry must not perturb a deterministic run. *)
+
+module Metrics = Telemetry.Metrics
+module Trace = Telemetry.Trace
+
+(* ---------------- registry semantics under concurrent domains -------- *)
+
+let test_concurrent_writers () =
+  let r = Metrics.create_registry () in
+  Metrics.enable ~registry:r ();
+  let c = Metrics.counter ~registry:r "t_conc_total" in
+  let g = Metrics.gauge ~registry:r "t_conc_gauge" in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[| 0.5; 1.5; 2.5 |] "t_conc_hist"
+  in
+  let domains = 4 and per = 20_000 in
+  let obs d i = float_of_int ((d + i) mod 4) in
+  let ds =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Metrics.incr c;
+              Metrics.gauge_add g 1.0;
+              Metrics.observe h (obs d i)
+            done))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "counter: no lost increments" (domains * per)
+    (Metrics.counter_value c);
+  Alcotest.(check (float 1e-6))
+    "gauge: no lost adds"
+    (float_of_int (domains * per))
+    (Metrics.gauge_value g);
+  let s = Metrics.snapshot h in
+  Alcotest.(check int) "histogram count" (domains * per) s.Metrics.count;
+  (* Replay the same observation stream sequentially: bucketing and the
+     (exactly representable) sum must agree. *)
+  let want_counts = Array.make 4 0 in
+  let want_sum = ref 0.0 in
+  for d = 0 to domains - 1 do
+    for i = 1 to per do
+      let x = obs d i in
+      let b = if x <= 0.5 then 0 else if x <= 1.5 then 1 else if x <= 2.5 then 2 else 3 in
+      want_counts.(b) <- want_counts.(b) + 1;
+      want_sum := !want_sum +. x
+    done
+  done;
+  Alcotest.(check (array int)) "per-bucket counts" want_counts s.Metrics.counts;
+  Alcotest.(check (float 1e-6)) "sum" !want_sum s.Metrics.sum
+
+let test_disabled_is_inert () =
+  let r = Metrics.create_registry () in
+  let c = Metrics.counter ~registry:r "t_off_total" in
+  let h = Metrics.histogram ~registry:r "t_off_seconds" in
+  Metrics.incr c;
+  Metrics.observe h 1.0;
+  Alcotest.(check int) "counter untouched" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram untouched" 0 (Metrics.snapshot h).Metrics.count;
+  Metrics.enable ~registry:r ();
+  Metrics.incr c;
+  Alcotest.(check int) "counter live after enable" 1 (Metrics.counter_value c)
+
+let test_registration_idempotent () =
+  let r = Metrics.create_registry () in
+  Metrics.enable ~registry:r ();
+  let a = Metrics.counter ~registry:r "t_same_total" in
+  let b = Metrics.counter ~registry:r "t_same_total" in
+  Metrics.incr a;
+  Metrics.incr b;
+  Alcotest.(check int) "same cell" 2 (Metrics.counter_value a);
+  (match Metrics.gauge ~registry:r "t_same_total" with
+  | _ -> Alcotest.fail "kind clash accepted"
+  | exception Invalid_argument _ -> ());
+  match Metrics.counter ~registry:r "bad name!" with
+  | _ -> Alcotest.fail "malformed name accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- histogram merge = recording the union -------------- *)
+
+(* Observations quantized to multiples of 0.25 so sums are exact in
+   binary floating point and the equality check can be [=]. *)
+let qcheck_merge_is_union =
+  let obs_list = QCheck.(list_of_size Gen.(0 -- 40) (map (fun k -> 0.25 *. float_of_int k) (0 -- 20))) in
+  QCheck.Test.make ~count:200
+    ~name:"merging two snapshots = recording the union"
+    (QCheck.pair obs_list obs_list)
+    (fun (xs, ys) ->
+      let buckets = [| 0.5; 1.0; 2.0; 4.0 |] in
+      let record name obs =
+        let r = Metrics.create_registry () in
+        Metrics.enable ~registry:r ();
+        let h = Metrics.histogram ~registry:r ~buckets name in
+        List.iter (Metrics.observe h) obs;
+        Metrics.snapshot h
+      in
+      let merged = Metrics.merge (record "t_a" xs) (record "t_b" ys) in
+      let union = record "t_u" (xs @ ys) in
+      merged.Metrics.upper = union.Metrics.upper
+      && merged.Metrics.counts = union.Metrics.counts
+      && merged.Metrics.count = union.Metrics.count
+      && merged.Metrics.sum = union.Metrics.sum)
+
+let test_merge_rejects_mismatched_bounds () =
+  let r = Metrics.create_registry () in
+  Metrics.enable ~registry:r ();
+  let a = Metrics.histogram ~registry:r ~buckets:[| 1.0 |] "t_ma" in
+  let b = Metrics.histogram ~registry:r ~buckets:[| 2.0 |] "t_mb" in
+  match Metrics.merge (Metrics.snapshot a) (Metrics.snapshot b) with
+  | _ -> Alcotest.fail "mismatched bounds merged"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- exposition ----------------------------------------- *)
+
+let test_render_checks_out () =
+  (* The default registry carries every statically registered series of
+     every linked layer; its own rendering must validate, and the stack
+     must expose a healthy number of distinct series. *)
+  let text = Metrics.render () in
+  match Metrics.check_exposition text with
+  | Error e -> Alcotest.failf "self-render rejected: %s" e
+  | Ok n ->
+    Alcotest.(check bool)
+      (Printf.sprintf "at least 25 series (got %d)" n)
+      true (n >= 25);
+    List.iter
+      (fun layer ->
+        Alcotest.(check bool)
+          (Printf.sprintf "series for %s present" layer)
+          true
+          (List.exists
+             (fun s ->
+               String.length s >= String.length layer
+               && String.sub s 0 (String.length layer) = layer)
+             (Metrics.series_names ())))
+      [
+        "sdnplace_simplex_";
+        "sdnplace_ilp_";
+        "sdnplace_cdcl_";
+        "sdnplace_portfolio_";
+        "sdnplace_runtime_";
+        "sdnplace_journal_";
+      ]
+
+let test_checker_rejects_strays () =
+  (match Metrics.check_exposition "sdnplace_no_such_series 1\n" with
+  | Ok _ -> Alcotest.fail "unknown series accepted"
+  | Error _ -> ());
+  let text = Metrics.render () in
+  let dup =
+    match String.index_opt text '\n' with
+    | Some _ ->
+      (* Duplicate the first sample line. *)
+      let lines = String.split_on_char '\n' text in
+      let sample =
+        List.find (fun l -> l <> "" && l.[0] <> '#') lines
+      in
+      text ^ sample ^ "\n"
+    | None -> Alcotest.fail "empty exposition"
+  in
+  match Metrics.check_exposition dup with
+  | Ok _ -> Alcotest.fail "duplicate series accepted"
+  | Error _ -> ()
+
+(* ---------------- spans ---------------------------------------------- *)
+
+let span_tree () =
+  Trace.with_span "root" @@ fun () ->
+  Trace.with_span "child" (fun () -> ());
+  Trace.with_span "child" (fun () -> ());
+  Trace.with_span "other" (fun () -> Trace.with_span "leaf" (fun () -> ()))
+
+let ids () = List.map (fun (i : Trace.info) -> i.Trace.id) (Trace.spans ())
+
+let test_span_ids_deterministic () =
+  Trace.reset ();
+  Trace.enable ();
+  Trace.set_seed 42;
+  span_tree ();
+  let first = ids () in
+  Alcotest.(check int) "five spans" 5 (List.length first);
+  Alcotest.(check (list string)) "nesting clean" [] (Trace.check_nesting ());
+  Trace.reset ();
+  Trace.set_seed 42;
+  span_tree ();
+  Alcotest.(check bool) "equal seeds, equal ids" true (ids () = first);
+  Trace.reset ();
+  Trace.set_seed 43;
+  span_tree ();
+  Alcotest.(check bool) "different seed, different ids" true (ids () <> first);
+  (* Sibling spans sharing a name are distinguished by occurrence. *)
+  let distinct = List.sort_uniq compare (ids ()) in
+  Alcotest.(check int) "ids distinct" 5 (List.length distinct);
+  Trace.disable ();
+  Trace.reset ()
+
+let test_span_nesting_and_export () =
+  Trace.reset ();
+  Trace.enable ();
+  Trace.set_seed 7;
+  span_tree ();
+  let infos = Trace.spans () in
+  let root =
+    List.find (fun (i : Trace.info) -> i.Trace.name = "root") infos
+  in
+  Alcotest.(check bool) "root is a root" true (root.Trace.parent = None);
+  List.iter
+    (fun (i : Trace.info) ->
+      if i.Trace.name = "child" || i.Trace.name = "other" then
+        Alcotest.(check bool)
+          (i.Trace.name ^ " parented to root")
+          true
+          (i.Trace.parent = Some root.Trace.id))
+    infos;
+  Alcotest.(check int) "one closed root" 1 (Trace.root_count ());
+  Alcotest.(check int) "no open spans" 0 (Trace.open_count ());
+  let lines =
+    List.filter (fun l -> l <> "")
+      (String.split_on_char '\n' (Trace.export_jsonl ()))
+  in
+  Alcotest.(check int) "one JSONL line per span" 5 (List.length lines);
+  Trace.disable ();
+  Trace.reset ()
+
+let test_disabled_trace_is_inert () =
+  Trace.reset ();
+  let before = List.length (Trace.spans ()) in
+  Trace.with_span "ghost" (fun () -> ());
+  Alcotest.(check int) "nothing recorded" before (List.length (Trace.spans ()))
+
+(* ---------------- determinism: telemetry must not perturb runs ------- *)
+
+let drive_signatures ~seed =
+  let family =
+    {
+      Workload.default with
+      Workload.num_policies = 3;
+      rules = 5;
+      paths = 12;
+      capacity = 40;
+      seed;
+    }
+  in
+  let inst = Workload.build family in
+  let options =
+    Placement.Solve.options
+      ~ilp_config:{ Ilp.Solver.default_config with time_limit = 10.0 }
+      ()
+  in
+  let report = Placement.Solve.run ~options inst in
+  let initial = Option.get report.Placement.Solve.solution in
+  let fault =
+    Runtime.Fault_plan.make ~fail_rate:0.15 ~timeout_rate:0.08 ~seed ()
+  in
+  let config =
+    {
+      Runtime.Engine.default_config with
+      Runtime.Engine.solve_options = options;
+    }
+  in
+  let eng = Runtime.Engine.create ~config ~fault initial in
+  let churn = Runtime.Churn.make ~rules:4 ~seed:((seed * 13) + 5) () in
+  let reports = Runtime.Churn.drive churn eng 12 in
+  List.map Runtime.Report.signature reports
+
+let test_telemetry_does_not_perturb () =
+  let seed = 11 in
+  let off = drive_signatures ~seed in
+  Metrics.enable ();
+  Trace.enable ();
+  let on =
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.disable ();
+        Trace.disable ();
+        Trace.reset ())
+      (fun () -> drive_signatures ~seed)
+  in
+  Alcotest.(check (list string))
+    "equal seeds: signatures identical with telemetry on" off on
+
+let suite =
+  [
+    Alcotest.test_case "concurrent domain writers" `Quick
+      test_concurrent_writers;
+    Alcotest.test_case "disabled registry is inert" `Quick
+      test_disabled_is_inert;
+    Alcotest.test_case "registration is idempotent, clashes rejected" `Quick
+      test_registration_idempotent;
+    QCheck_alcotest.to_alcotest qcheck_merge_is_union;
+    Alcotest.test_case "merge rejects mismatched bounds" `Quick
+      test_merge_rejects_mismatched_bounds;
+    Alcotest.test_case "self-render passes the exposition checker" `Quick
+      test_render_checks_out;
+    Alcotest.test_case "checker rejects unknown and duplicate series" `Quick
+      test_checker_rejects_strays;
+    Alcotest.test_case "span ids are seed-deterministic" `Quick
+      test_span_ids_deterministic;
+    Alcotest.test_case "span trees nest and export" `Quick
+      test_span_nesting_and_export;
+    Alcotest.test_case "disabled tracing records nothing" `Quick
+      test_disabled_trace_is_inert;
+    Alcotest.test_case "telemetry does not perturb a seeded run" `Quick
+      test_telemetry_does_not_perturb;
+  ]

@@ -1,0 +1,53 @@
+(* check_metrics — validate a Prometheus text exposition against the
+   stack's metrics registry.
+
+   Usage: check_metrics FILE [MIN_SERIES]
+
+   FILE is an exposition written by `sdnplace --metrics` or
+   `bench/main.exe --metrics` ("-" reads stdin).  Every sample line must
+   name a series registered by some layer of the stack, no series may
+   appear twice, and at least MIN_SERIES (default 25) distinct series
+   must be present.  Exit 0 on success, 1 on any violation — the CI
+   metrics-smoke lane trips on typos, duplicate registrations and
+   silently vanished instrumentation alike.
+
+   The executable links the whole stack with -linkall, so every module's
+   static metric registrations run and the registry is complete. *)
+
+let read_all ic =
+  let b = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel b ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let () =
+  let file =
+    if Array.length Sys.argv < 2 then (
+      prerr_endline "usage: check_metrics FILE [MIN_SERIES]";
+      exit 2)
+    else Sys.argv.(1)
+  in
+  let min_series =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 25
+  in
+  let text =
+    if file = "-" then read_all stdin
+    else begin
+      let ic = open_in file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> read_all ic)
+    end
+  in
+  match Telemetry.Metrics.check_exposition text with
+  | Error e ->
+    Printf.eprintf "check_metrics: %s: %s\n" file e;
+    exit 1
+  | Ok n when n < min_series ->
+    Printf.eprintf "check_metrics: %s: only %d distinct series (want >= %d)\n"
+      file n min_series;
+    exit 1
+  | Ok n -> Printf.printf "check_metrics: %s: ok, %d distinct series\n" file n
