@@ -40,7 +40,15 @@ let sec t = Printf.sprintf "%.3f" t
 
 let ms t = Printf.sprintf "%.0f" (t *. 1000.0)
 
-let solve_options ?(merge = false) ?(slice = false) ?(time_limit = 10.0) () =
-  Placement.Solve.options ~merge ~slice
+(* The run-wide LP engine (bench/main.exe --lp-engine); experiments that
+   compare engines pass [?lp_engine] explicitly and bypass it. *)
+let default_lp_engine = ref Simplex.Sparse
+
+let solve_options ?(merge = false) ?(slice = false) ?(time_limit = 10.0)
+    ?lp_engine () =
+  let lp_engine =
+    match lp_engine with Some e -> e | None -> !default_lp_engine
+  in
+  Placement.Solve.options ~merge ~slice ~lp_engine
     ~ilp_config:{ Ilp.Solver.default_config with time_limit }
     ()

@@ -5,10 +5,11 @@
 
    Usage: dune exec bench/main.exe -- [--quick] [--smoke] [--no-micro]
                                       [--jobs N] [--seed N]
+                                      [--lp-engine sparse|dense]
                                       [--metrics FILE] [--trace FILE]
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
-                                              portfolio|chaos|crash] *)
+                                              portfolio|chaos|crash|lp] *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -29,7 +30,8 @@ let only =
 
 (* --smoke: the CI perf canary — one tiny point per experiment family so
    a regression fails loudly without burning minutes. *)
-let only = if smoke && only = [] then [ "fig7"; "s1"; "portfolio" ] else only
+let only =
+  if smoke && only = [] then [ "fig7"; "s1"; "portfolio"; "lp" ] else only
 
 let wants name = only = [] || List.mem name only
 
@@ -66,6 +68,22 @@ let string_flag name =
 let metrics_out = string_flag "--metrics"
 
 let trace_out = string_flag "--trace"
+
+(* --lp-engine sparse|dense: the LP relaxation engine every experiment's
+   ILP uses (exp_solver compares both regardless). *)
+let lp_engine =
+  match string_flag "--lp-engine" with
+  | Some s -> (
+    match Simplex.engine_of_string s with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown --lp-engine %S (sparse|dense)\n" s;
+      exit 2)
+  | None -> Simplex.Sparse
+
+(* Set to false by an experiment that detected a regression; turns into
+   a non-zero exit so CI lanes fail loudly. *)
+let all_ok = ref true
 
 let write_export dest content =
   match dest with
@@ -174,6 +192,22 @@ let run_experiments () =
       ~events:(if smoke then 25 else 60)
       ~time_limit ();
 
+  if wants "lp" then begin
+    (* Warm-start and iteration tallies come from telemetry counter
+       deltas, so metrics must be on for this experiment. *)
+    let was_enabled = Telemetry.Metrics.is_enabled () in
+    if not was_enabled then Telemetry.Metrics.enable ();
+    let ok =
+      Exp_solver.run
+        ~title:
+          "Experiment LP1: dense tableau vs sparse revised simplex \
+           (differential + speedup)"
+        ~smoke ~quick ~time_limit ~json_path:"BENCH_solver.json" ()
+    in
+    if not was_enabled then Telemetry.Metrics.disable ();
+    if not ok then all_ok := false
+  end;
+
   if wants "b1" then
   Exp_baseline.run
     ~title:"Experiment B1: ILP vs greedy vs replicate-everywhere (p x r)"
@@ -270,6 +304,7 @@ let run_micro () =
     (List.sort Stdlib.compare !rows)
 
 let () =
+  Harness.default_lp_engine := lp_engine;
   if metrics_out <> None then Telemetry.Metrics.enable ();
   if trace_out <> None then Telemetry.Trace.enable ();
   run_experiments ();
@@ -278,4 +313,8 @@ let () =
     (fun d -> write_export d (Telemetry.Metrics.render ()))
     metrics_out;
   Option.iter (fun d -> write_export d (Telemetry.Trace.export_jsonl ())) trace_out;
+  if not !all_ok then begin
+    print_endline "benchmarks FAILED (see above).";
+    exit 1
+  end;
   print_endline "benchmarks complete."

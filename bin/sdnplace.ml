@@ -116,6 +116,19 @@ let engine_arg =
            (feasibility only), or $(b,sat-opt) (optimizing cardinality \
            descent on the SAT solver).")
 
+let lp_engine_arg =
+  Arg.(
+    value
+    & opt
+        (enum [ ("sparse", Simplex.Sparse); ("dense", Simplex.Dense) ])
+        Simplex.Sparse
+    & info [ "lp-engine" ] ~docv:"LP"
+        ~doc:
+          "LP relaxation engine for the ILP branch & bound: $(b,sparse) \
+           (default; revised simplex with LU-factorized basis and \
+           dual-simplex warm starts between nodes) or $(b,dense) (the \
+           reference two-phase dense tableau, rebuilt per node).")
+
 let objective_arg =
   Arg.(
     value
@@ -151,7 +164,8 @@ let strategy_arg =
            when $(b,--jobs) > 1), $(b,sat) the optimizing SAT descent, and \
            $(b,auto) picks from the instance's constrainedness.")
 
-let options_of merge slice engine objective time_limit jobs strategy =
+let options_of merge slice engine lp_engine objective time_limit jobs strategy
+    =
   let engine =
     match strategy with
     | Some `Portfolio -> Placement.Solve.Portfolio_engine
@@ -161,7 +175,7 @@ let options_of merge slice engine objective time_limit jobs strategy =
     | None -> engine
   in
   let jobs = if jobs <= 0 then Portfolio.default_jobs () else jobs in
-  Placement.Solve.options ~merge ~slice ~engine ~jobs
+  Placement.Solve.options ~merge ~slice ~engine ~jobs ~lp_engine
     ~objective:
       (match objective with
       | `Total -> Placement.Encode.Total_rules
@@ -287,12 +301,14 @@ let print_solution (sol : Placement.Solution.t) =
       end)
     sol.Placement.Solution.per_switch
 
-let solve_run metrics trace file merge slice engine objective time_limit jobs
-    strategy show_tables =
+let solve_run metrics trace file merge slice engine lp_engine objective
+    time_limit jobs strategy show_tables =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
-  let options = options_of merge slice engine objective time_limit jobs strategy in
+  let options =
+    options_of merge slice engine lp_engine objective time_limit jobs strategy
+  in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
   (match report.Placement.Solve.ilp_stats with
@@ -318,8 +334,8 @@ let solve_cmd =
     (Cmd.info "solve" ~exits ~doc:"Place the rules and print the result.")
     Term.(
       const solve_run $ metrics_arg $ trace_arg $ instance_arg $ merge_flag
-      $ slice_flag $ engine_arg $ objective_arg $ time_limit_arg $ jobs_arg
-      $ strategy_arg $ tables_flag)
+      $ slice_flag $ engine_arg $ lp_engine_arg $ objective_arg
+      $ time_limit_arg $ jobs_arg $ strategy_arg $ tables_flag)
 
 (* ---------------- balance ---------------- *)
 
@@ -360,12 +376,14 @@ let balance_cmd =
 
 (* ---------------- verify ---------------- *)
 
-let verify_run metrics trace file merge slice engine objective time_limit jobs
-    strategy samples =
+let verify_run metrics trace file merge slice engine lp_engine objective
+    time_limit jobs strategy samples =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
-  let options = options_of merge slice engine objective time_limit jobs strategy in
+  let options =
+    options_of merge slice engine lp_engine objective time_limit jobs strategy
+  in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
   match report.Placement.Solve.solution with
@@ -407,8 +425,8 @@ let verify_cmd =
     (Cmd.info "verify" ~exits ~doc:"Solve and verify the placement end to end.")
     Term.(
       const verify_run $ metrics_arg $ trace_arg $ instance_arg $ merge_flag
-      $ slice_flag $ engine_arg $ objective_arg $ time_limit_arg $ jobs_arg
-      $ strategy_arg $ samples)
+      $ slice_flag $ engine_arg $ lp_engine_arg $ objective_arg
+      $ time_limit_arg $ jobs_arg $ strategy_arg $ samples)
 
 (* ---------------- events ---------------- *)
 
@@ -460,12 +478,14 @@ let summarize_events ?(pre_failed = false) reports eng =
     exit_violations
   end
 
-let events_run metrics trace file merge slice engine objective time_limit jobs
-    strategy num_events seed fail_rate timeout_rate deadline rules journal
-    resume =
+let events_run metrics trace file merge slice engine lp_engine objective
+    time_limit jobs strategy num_events seed fail_rate timeout_rate deadline
+    rules journal resume =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
-  let options = options_of merge slice engine objective time_limit jobs strategy in
+  let options =
+    options_of merge slice engine lp_engine objective time_limit jobs strategy
+  in
   let config =
     {
       Runtime.Engine.default_config with
@@ -626,9 +646,9 @@ let events_cmd =
           interrupted run.")
     Term.(
       const events_run $ metrics_arg $ trace_arg $ instance $ merge_flag
-      $ slice_flag $ engine_arg $ objective_arg $ time_limit_arg $ jobs_arg
-      $ strategy_arg $ num_events $ seed $ fail_rate $ timeout_rate $ deadline
-      $ rules $ journal $ resume)
+      $ slice_flag $ engine_arg $ lp_engine_arg $ objective_arg
+      $ time_limit_arg $ jobs_arg $ strategy_arg $ num_events $ seed
+      $ fail_rate $ timeout_rate $ deadline $ rules $ journal $ resume)
 
 let main_cmd =
   Cmd.group

@@ -12,6 +12,7 @@ type config = {
   lp_root : bool;
   lp_depth : int;
   lp_size_limit : int;
+  lp_engine : Simplex.engine;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     lp_root = true;
     lp_depth = 2;
     lp_size_limit = 12_000_000;
+    lp_engine = Simplex.Sparse;
   }
 
 type stats = { nodes : int; lp_calls : int; elapsed : float; root_bound : float }
@@ -57,6 +59,16 @@ let m_lp_s =
 let m_root_bound =
   Telemetry.Metrics.gauge ~help:"root LP lower bound of the last solve"
     "sdnplace_ilp_root_bound"
+
+let m_warm_hits =
+  Telemetry.Metrics.counter
+    ~help:"LP re-solves warm-started from an existing basis"
+    "sdnplace_ilp_warm_start_hits_total"
+
+let m_warm_misses =
+  Telemetry.Metrics.counter
+    ~help:"LP solves that had no basis to warm-start from"
+    "sdnplace_ilp_warm_start_misses_total"
 
 let pp_outcome fmt = function
   | Optimal s -> Format.fprintf fmt "optimal (%g)" s.objective
@@ -131,6 +143,14 @@ type state = {
   mutable lp_calls : int;
   mutable stopped : bool;
   mutable root_bound : float;
+  (* Sparse LP engine: one persistent revised-simplex instance per search
+     state.  Each node narrows variable bounds in place and re-solves
+     with the dual simplex from the parent's optimal basis instead of
+     rebuilding a reduced LP from scratch.  [splx_seed] optionally ships
+     a basis snapshot into a freshly built state (parallel workers warm
+     their first LP from the root basis). *)
+  mutable splx : Simplex.Revised.t option;
+  mutable splx_seed : Simplex.Revised.snapshot option;
 }
 
 let build_state model =
@@ -230,6 +250,8 @@ let build_state model =
     lp_calls = 0;
     stopped = false;
     root_bound = neg_infinity;
+    splx = None;
+    splx_seed = None;
   }
 
 let assign st v b =
@@ -349,9 +371,67 @@ let bound st =
     st.covers;
   base +. !extra
 
+(* Sparse persistent LP: built once over the full model (every variable,
+   every normalized <= row), then re-solved per node after narrowing the
+   fixed variables' bounds to a point.  A bound change keeps the old
+   basis dual-feasible, so each re-solve is a dual-simplex warm start. *)
+let build_splx st =
+  let rows =
+    Array.map
+      (fun (r : lrow) ->
+        let terms = ref [] in
+        for k = Array.length r.vidx - 1 downto 0 do
+          terms := (r.vidx.(k), r.vcoef.(k)) :: !terms
+        done;
+        (!terms, Simplex.Revised.Le, r.rhs))
+      st.lrows
+  in
+  let obj = ref [] in
+  for v = st.n - 1 downto 0 do
+    if st.c.(v) <> 0.0 then obj := (v, st.c.(v)) :: !obj
+  done;
+  Simplex.Revised.create ~nvars:st.n ~obj:!obj
+    ~lower:(Array.make st.n 0.0)
+    ~upper:(Array.make st.n 1.0)
+    ~rows
+
+let lp_bound_sparse st =
+  let lp =
+    match st.splx with
+    | Some lp -> lp
+    | None ->
+      let lp = build_splx st in
+      (match st.splx_seed with
+      | Some snap -> ignore (Simplex.Revised.restore lp snap)
+      | None -> ());
+      st.splx <- Some lp;
+      lp
+  in
+  for v = 0 to st.n - 1 do
+    match st.value.(v) with
+    | -1 -> Simplex.Revised.set_bounds lp v 0.0 1.0
+    | 0 -> Simplex.Revised.set_bounds lp v 0.0 0.0
+    | _ -> Simplex.Revised.set_bounds lp v 1.0 1.0
+  done;
+  st.lp_calls <- st.lp_calls + 1;
+  if Simplex.Revised.has_basis lp then Telemetry.Metrics.incr m_warm_hits
+  else Telemetry.Metrics.incr m_warm_misses;
+  match
+    Telemetry.Metrics.time m_lp_s (fun () ->
+        Simplex.Revised.reoptimize ~max_iters:20_000 lp)
+  with
+  | Simplex.Revised.Optimal { objective; solution } ->
+    (* The bounds pin fixed variables, so [objective] already includes
+       their contribution — no [obj_fixed] correction. *)
+    Some (objective, Some (None, solution))
+  | Simplex.Revised.Infeasible -> raise Conflict
+  | Simplex.Revised.Unbounded | Simplex.Revised.Iteration_limit -> None
+
 (* LP relaxation over the free variables.  Returns [None] when skipped,
-   [Some (bound, solution_opt)]; raises [Conflict] when LP-infeasible. *)
-let lp_bound st cfg =
+   [Some (bound, hint)] where the hint pairs an optional free-variable
+   index map (dense engine) with the LP solution; raises [Conflict] when
+   LP-infeasible. *)
+let lp_bound_dense st cfg =
   let free = ref 0 in
   let map = Array.make st.n (-1) in
   for v = 0 to st.n - 1 do
@@ -399,16 +479,22 @@ let lp_bound st cfg =
         }
       in
       st.lp_calls <- st.lp_calls + 1;
+      Telemetry.Metrics.incr m_warm_misses;
       match
         Telemetry.Metrics.time m_lp_s (fun () ->
-            Simplex.solve ~max_iters:20_000 problem)
+            Simplex.solve ~engine:Simplex.Dense ~max_iters:20_000 problem)
       with
       | Simplex.Optimal { objective; solution } ->
-        Some (st.obj_fixed +. objective, Some (map, solution))
+        Some (st.obj_fixed +. objective, Some (Some map, solution))
       | Simplex.Infeasible -> raise Conflict
       | Simplex.Unbounded | Simplex.Iteration_limit -> None
     end
   end
+
+let lp_bound st cfg =
+  match cfg.lp_engine with
+  | Simplex.Sparse -> lp_bound_sparse st
+  | Simplex.Dense -> lp_bound_dense st cfg
 
 (* Branch on the tightest unsatisfied cover (fewest spare variables),
    inside it on the variable covering the most unsatisfied covers.  With
@@ -541,9 +627,14 @@ let rec dfs st cfg ~start ~depth =
    root propagation, root LP (with the integral-hint incumbent).
    Returns the prepared state plus [`Settled outcome] when the root
    already decides the instance, [`Open] otherwise. *)
-let prepare ~config ~cancel ?warm_start model =
+let prepare ~config ~cancel ?warm_start ?basis model =
   let st = build_state model in
   st.cancel <- cancel;
+  (* An externally supplied basis cell (see [solve]) seeds the first
+     sparse LP — the root re-solve warm-starts from the previous solve's
+     optimal basis when the model shape matches (fingerprint-guarded
+     inside [Revised.restore], so a stale snapshot just cold-starts). *)
+  (match basis with Some cell -> st.splx_seed <- !cell | None -> ());
   (match warm_start with
   | Some values
     when Array.length values = st.n && check_feasible model values ->
@@ -566,9 +657,16 @@ let prepare ~config ~cancel ?warm_start model =
            in
            if integral then begin
              let values = Array.map (fun v -> v = 1) st.value in
-             Array.iteri
-               (fun v f -> if f >= 0 then values.(v) <- lp_sol.(f) > 0.5)
-               map;
+             (match map with
+             | Some map ->
+               Array.iteri
+                 (fun v f -> if f >= 0 then values.(v) <- lp_sol.(f) > 0.5)
+                 map
+             | None ->
+               (* Sparse engine: the LP solution spans every variable. *)
+               Array.iteri
+                 (fun v x -> if st.value.(v) = -1 then values.(v) <- x > 0.5)
+                 lp_sol);
              if check_feasible model values then
                let objective = objective_value model values in
                let better =
@@ -588,11 +686,23 @@ let prepare ~config ~cancel ?warm_start model =
       | _ -> (st, `Open)
   end
 
+(* Export the search state's final basis into the caller's cell so the
+   next solve over a same-shaped model (an incremental event re-solve)
+   starts from it. *)
+let export_basis st basis =
+  match basis with
+  | Some cell -> (
+    match st.splx with
+    | Some lp when Simplex.Revised.has_basis lp ->
+      cell := Some (Simplex.Revised.snapshot lp)
+    | _ -> ())
+  | None -> ()
+
 let solve ?(config = default_config) ?(cancel = fun () -> false) ?warm_start
-    model =
+    ?basis model =
   let start = Sys.time () in
   Telemetry.Metrics.incr m_solves;
-  let st, root = prepare ~config ~cancel ?warm_start model in
+  let st, root = prepare ~config ~cancel ?warm_start ?basis model in
   let finish outcome =
     let s =
       {
@@ -606,6 +716,7 @@ let solve ?(config = default_config) ?(cancel = fun () -> false) ?warm_start
     Telemetry.Metrics.add m_lp_calls s.lp_calls;
     Telemetry.Metrics.observe m_solve_s s.elapsed;
     Telemetry.Metrics.set m_root_bound s.root_bound;
+    export_basis st basis;
     (outcome, s)
   in
   match root with
@@ -669,12 +780,12 @@ let split_frontier st ~target =
   q |> Queue.to_seq |> Seq.map Array.of_list |> Array.of_seq
 
 let solve_parallel ?(config = default_config) ?(jobs = 1)
-    ?(cancel = fun () -> false) ?warm_start model =
-  if jobs <= 1 then solve ~config ~cancel ?warm_start model
+    ?(cancel = fun () -> false) ?warm_start ?basis model =
+  if jobs <= 1 then solve ~config ~cancel ?warm_start ?basis model
   else begin
     let wall0 = Unix.gettimeofday () in
     Telemetry.Metrics.incr m_solves;
-    let st, root = prepare ~config ~cancel ?warm_start model in
+    let st, root = prepare ~config ~cancel ?warm_start ?basis model in
     let finish ?(extra_nodes = 0) ?(extra_lp = 0) outcome =
       let s =
         {
@@ -688,6 +799,7 @@ let solve_parallel ?(config = default_config) ?(jobs = 1)
       Telemetry.Metrics.add m_lp_calls s.lp_calls;
       Telemetry.Metrics.observe m_solve_s s.elapsed;
       Telemetry.Metrics.set m_root_bound s.root_bound;
+      export_basis st basis;
       (outcome, s)
     in
     match root with
@@ -716,11 +828,22 @@ let solve_parallel ?(config = default_config) ?(jobs = 1)
           cancel () || Atomic.get proven || Unix.gettimeofday () > deadline
         in
         let cfg = { config with time_limit = infinity; lp_root = false } in
+        (* Frontier subtrees ship with a compact root-basis snapshot:
+           each worker rebuilds its own persistent LP (domains share no
+           mutable state) but warm-starts its first re-solve from the
+           root's optimal basis instead of a cold phase 1. *)
+        let root_basis =
+          match st.splx with
+          | Some lp when Simplex.Revised.has_basis lp ->
+            Some (Simplex.Revised.snapshot lp)
+          | _ -> None
+        in
         let work () =
           let w = build_state model in
           w.shared_obj <- st.shared_obj;
           w.root_bound <- st.root_bound;
           w.cancel <- worker_cancel;
+          w.splx_seed <- root_basis;
           if not (propagate_root w) then (None, 0, 0, false)
           else begin
             let base = w.trail_len in

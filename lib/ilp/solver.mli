@@ -34,11 +34,20 @@ type config = {
   node_limit : int;
   lp_root : bool;  (** solve the root LP relaxation *)
   lp_depth : int;  (** also solve LP bounds at nodes of depth <= this *)
-  lp_size_limit : int;  (** skip LPs larger than rows*cols > this *)
+  lp_size_limit : int;
+      (** dense engine only: skip LPs larger than rows*cols > this *)
+  lp_engine : Simplex.engine;
+      (** [Sparse] (default) keeps one persistent revised-simplex
+          instance per search state and re-solves each node with the
+          dual simplex from the parent's optimal basis (a bound change
+          leaves the basis dual-feasible); parallel workers warm their
+          first LP from a root-basis snapshot.  [Dense] rebuilds a
+          reduced dense-tableau LP per node — the reference oracle. *)
 }
 
 val default_config : config
-(** 60 s, 2M nodes, root LP plus LP to depth 2, size limit 4M. *)
+(** 60 s, 2M nodes, root LP plus LP to depth 2, size limit 12M, sparse
+    LP engine. *)
 
 type stats = {
   nodes : int;
@@ -51,19 +60,30 @@ val solve :
   ?config:config ->
   ?cancel:(unit -> bool) ->
   ?warm_start:bool array ->
+  ?basis:Simplex.Revised.snapshot option ref ->
   Model.t ->
   outcome * stats
 (** [warm_start] seeds the incumbent if it satisfies every constraint
     (silently ignored otherwise).  [cancel] is polled every 256 nodes;
     once it returns true the search stops cooperatively and reports its
     best incumbent ([Feasible]) or [Unknown] — the hook that lets a
-    solver portfolio race this solver and cancel the loser. *)
+    solver portfolio race this solver and cancel the loser.
+
+    [basis] (sparse LP engine only) is a caller-held cell chaining the
+    simplex basis {e across} solves: the cell's snapshot seeds this
+    solve's first LP, and on return the cell holds the final basis.
+    Restoration is fingerprint-guarded, so a snapshot from a
+    differently-shaped model silently degrades to a cold start — safe
+    to share one cell across heterogeneous solves.  This is what lets
+    {!Placement.Incremental} event re-solves skip phase 1 when
+    consecutive events produce same-shaped relaxations. *)
 
 val solve_parallel :
   ?config:config ->
   ?jobs:int ->
   ?cancel:(unit -> bool) ->
   ?warm_start:bool array ->
+  ?basis:Simplex.Revised.snapshot option ref ->
   Model.t ->
   outcome * stats
 (** Branch and bound fanned out over [jobs] OCaml domains ([jobs <= 1]

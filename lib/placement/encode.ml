@@ -123,10 +123,10 @@ let to_model ?(objective = Total_rules) (layout : Layout.t) =
   (model, vars)
 
 let solve ?(objective = Total_rules) ?config ?(jobs = 1) ?cancel ?warm_start
-    (layout : Layout.t) =
+    ?basis (layout : Layout.t) =
   let model, _vars = to_model ~objective layout in
   let outcome, stats =
-    Ilp.Solver.solve_parallel ?config ~jobs ?cancel ?warm_start model
+    Ilp.Solver.solve_parallel ?config ~jobs ?cancel ?warm_start ?basis model
   in
   let solution_of (s : Ilp.Solver.solution) =
     Solution.of_assignment layout s.Ilp.Solver.values ~objective:s.Ilp.Solver.objective

@@ -57,6 +57,7 @@ type options = {
   sat_conflict_limit : int option;
   greedy_warm_start : bool;
   jobs : int;
+  lp_basis : Simplex.Revised.snapshot option ref option;
 }
 
 let default_options =
@@ -71,12 +72,18 @@ let default_options =
     sat_conflict_limit = None;
     greedy_warm_start = true;
     jobs = 1;
+    lp_basis = None;
   }
 
 let options ?(redundancy = true) ?(merge = false) ?(slice = false)
     ?(monitors = []) ?(objective = Encode.Total_rules) ?(engine = Ilp_engine)
-    ?(ilp_config = Ilp.Solver.default_config) ?sat_conflict_limit
-    ?(greedy_warm_start = true) ?(jobs = 1) () =
+    ?(ilp_config = Ilp.Solver.default_config) ?lp_engine ?sat_conflict_limit
+    ?(greedy_warm_start = true) ?(jobs = 1) ?lp_basis () =
+  let ilp_config =
+    match lp_engine with
+    | Some e -> { ilp_config with Ilp.Solver.lp_engine = e }
+    | None -> ilp_config
+  in
   {
     redundancy;
     merge;
@@ -88,6 +95,7 @@ let options ?(redundancy = true) ?(merge = false) ?(slice = false)
     sat_conflict_limit;
     greedy_warm_start;
     jobs;
+    lp_basis;
   }
 
 type timing = {
@@ -206,7 +214,7 @@ let run_ilp ?(jobs = 1) ?(cancel = fun () -> false) options inst_pre_plan
   in
   let r =
     Encode.solve ~objective:options.objective ~config:options.ilp_config ~jobs
-      ~cancel ?warm_start layout
+      ~cancel ?warm_start ?basis:options.lp_basis layout
   in
   {
     v_status = r.Encode.status;

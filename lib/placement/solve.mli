@@ -52,6 +52,14 @@ type options = {
       (** total domains for the parallel engines (default 1 =
           sequential); see {!Portfolio.default_jobs} for a hardware
           default *)
+  lp_basis : Simplex.Revised.snapshot option ref option;
+      (** a caller-held cell chaining the sparse LP basis across solves
+          (default [None] = every solve cold-starts its root LP).  Hold
+          one cell and pass the same options to consecutive
+          {!Incremental} event solves: each re-solve dual-warm-starts
+          from the previous event's optimal basis whenever the
+          relaxation shape matches (fingerprint-guarded, so a stale
+          snapshot silently cold-starts — see {!Ilp.Solver.solve}) *)
 }
 
 val default_options : options
@@ -64,11 +72,15 @@ val options :
   ?objective:Encode.objective ->
   ?engine:engine ->
   ?ilp_config:Ilp.Solver.config ->
+  ?lp_engine:Simplex.engine ->
   ?sat_conflict_limit:int ->
   ?greedy_warm_start:bool ->
   ?jobs:int ->
+  ?lp_basis:Simplex.Revised.snapshot option ref ->
   unit ->
   options
+(** [lp_engine] overrides [ilp_config]'s LP engine field in one step —
+    the hook behind the [--lp-engine] CLI/bench flag. *)
 
 type timing = {
   redundancy_s : float;

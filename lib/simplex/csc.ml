@@ -1,0 +1,87 @@
+type t = {
+  m : int;
+  n : int;
+  colptr : int array;
+  rowind : int array;
+  cval : float array;
+  rowptr : int array;
+  colind : int array;
+  rval : float array;
+}
+
+let of_rows ~m ~n rows =
+  if Array.length rows <> m then invalid_arg "Csc.of_rows: row count mismatch";
+  (* Merge duplicate columns within each row (sorted sparse rows). *)
+  let merged =
+    Array.map
+      (fun terms ->
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> compare (a : int) b) terms
+        in
+        let rec merge = function
+          | (j, _) :: _ when j < 0 || j >= n ->
+            invalid_arg "Csc.of_rows: column index out of range"
+          | (j, a) :: (j', b) :: rest when j = j' -> merge ((j, a +. b) :: rest)
+          | (j, a) :: rest ->
+            if a = 0.0 then merge rest else (j, a) :: merge rest
+          | [] -> []
+        in
+        merge sorted)
+      rows
+  in
+  let nnz = Array.fold_left (fun acc r -> acc + List.length r) 0 merged in
+  (* CSR: rows are already in order. *)
+  let rowptr = Array.make (m + 1) 0 in
+  let colind = Array.make nnz 0 in
+  let rval = Array.make nnz 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun i terms ->
+      rowptr.(i) <- !k;
+      List.iter
+        (fun (j, v) ->
+          colind.(!k) <- j;
+          rval.(!k) <- v;
+          incr k)
+        terms)
+    merged;
+  rowptr.(m) <- !k;
+  (* CSC: count per column, then scatter. *)
+  let colptr = Array.make (n + 1) 0 in
+  for p = 0 to nnz - 1 do
+    colptr.(colind.(p) + 1) <- colptr.(colind.(p) + 1) + 1
+  done;
+  for j = 1 to n do
+    colptr.(j) <- colptr.(j) + colptr.(j - 1)
+  done;
+  let rowind = Array.make nnz 0 in
+  let cval = Array.make nnz 0.0 in
+  let next = Array.copy colptr in
+  for i = 0 to m - 1 do
+    for p = rowptr.(i) to rowptr.(i + 1) - 1 do
+      let j = colind.(p) in
+      rowind.(next.(j)) <- i;
+      cval.(next.(j)) <- rval.(p);
+      next.(j) <- next.(j) + 1
+    done
+  done;
+  { m; n; colptr; rowind; cval; rowptr; colind; rval }
+
+let nnz a = a.colptr.(a.n)
+
+let col_iter a j f =
+  for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+    f a.rowind.(p) a.cval.(p)
+  done
+
+let row_iter a i f =
+  for p = a.rowptr.(i) to a.rowptr.(i + 1) - 1 do
+    f a.colind.(p) a.rval.(p)
+  done
+
+let col_dot a j y =
+  let acc = ref 0.0 in
+  for p = a.colptr.(j) to a.colptr.(j + 1) - 1 do
+    acc := !acc +. (a.cval.(p) *. y.(a.rowind.(p)))
+  done;
+  !acc

@@ -1,0 +1,39 @@
+(** Immutable sparse matrix stored in both compressed-sparse-column and
+    compressed-sparse-row form.
+
+    The revised simplex needs both orientations of the constraint matrix:
+    columns for FTRAN right-hand sides and basis extraction, rows for
+    forming the pivot row [rho^T A] from a sparse BTRAN result.  Building
+    both once up front costs one extra copy of the nonzeros and makes
+    every hot-loop access a contiguous array scan. *)
+
+type t = private {
+  m : int;  (** rows *)
+  n : int;  (** columns *)
+  colptr : int array;  (** length n+1 *)
+  rowind : int array;
+  cval : float array;
+  rowptr : int array;  (** length m+1 *)
+  colind : int array;
+  rval : float array;
+}
+
+val of_rows : m:int -> n:int -> (int * float) list array -> t
+(** [of_rows ~m ~n rows] builds the matrix from per-row sparse
+    [(column, coefficient)] term lists.  Duplicate column entries within a
+    row are summed; exact zeros are dropped.  Raises [Invalid_argument] on
+    an out-of-range column index. *)
+
+val nnz : t -> int
+
+val col_iter : t -> int -> (int -> float -> unit) -> unit
+(** [col_iter a j f] applies [f row value] to every stored entry of
+    column [j]. *)
+
+val row_iter : t -> int -> (int -> float -> unit) -> unit
+(** [row_iter a i f] applies [f col value] to every stored entry of row
+    [i]. *)
+
+val col_dot : t -> int -> float array -> float
+(** [col_dot a j y] is the dot product of column [j] with the dense
+    vector [y] (length [m]). *)

@@ -1,0 +1,37 @@
+(** Sparse LU factorization of a simplex basis.
+
+    Gaussian elimination in elimination form: at each step a pivot is
+    chosen by a Markowitz-style rule — among the sparsest active columns,
+    the entry minimizing [(row_count - 1) * (col_count - 1)] subject to a
+    threshold partial-pivoting test (|entry| >= tau * max |entry in
+    column|, tau = 0.1) — and the multipliers are recorded as an eta
+    sequence (the L factor) while the pivot rows form the U factor.
+
+    Solves are the standard pair used by the revised simplex:
+    FTRAN [B x = b] (apply L etas forward, back-substitute U) and BTRAN
+    [B^T y = c] (forward-substitute U^T by scattering pivot rows, apply
+    L^T etas in reverse). *)
+
+type t
+
+exception Singular
+(** Raised by {!factor} when some elimination step finds no pivot above
+    the absolute tolerance — the basis matrix is (numerically) rank
+    deficient. *)
+
+val factor : m:int -> (int -> (int -> float -> unit) -> unit) -> t
+(** [factor ~m col] factors the [m x m] basis whose column for basis slot
+    [k] is enumerated by [col k f] (calling [f row value] per nonzero).
+    Column slots index the caller's basis array; rows are constraint-row
+    indices. *)
+
+val ftran : t -> b:float array -> x:float array -> unit
+(** Solve [B x = b]: [b] (length m, row space) is left untouched, [x]
+    (length m, basis-slot space) is overwritten with the solution. *)
+
+val btran : t -> c:float array -> y:float array -> unit
+(** Solve [B^T y = c]: [c] (length m, basis-slot space) is left
+    untouched, [y] (length m, row space) is overwritten. *)
+
+val nnz : t -> int
+(** Stored nonzeros in L + U, a fill-in observability hook. *)

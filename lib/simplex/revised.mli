@@ -1,0 +1,86 @@
+(** Sparse revised simplex over a CSC/CSR constraint matrix.
+
+    The engine keeps the basis as an LU factorization ({!Lu}) extended by
+    a product-form eta file: each pivot appends one sparse eta column and
+    the factorization is rebuilt when the eta file grows past its limit
+    or a pivot looks numerically unstable.  Pricing is Devex-style
+    (incrementally maintained reference weights) with partial pricing in
+    cyclic blocks; the ratio test handles general [lo, up] variable
+    bounds with bound flips.  Feasibility (phase 1) minimizes signed
+    bounded artificials, which works from {e any} bound configuration —
+    the property the warm-started branch & bound relies on.
+
+    An instance is {e persistent}: {!set_bounds} mutates variable bounds
+    in place and {!reoptimize} re-solves with the {b dual simplex} from
+    the current basis (a bound change leaves the basis dual-feasible), so
+    a branch & bound child node costs a handful of dual pivots instead of
+    a from-scratch solve.  {!snapshot} / {!restore} capture the basis
+    compactly (statuses + basic variables + a structural fingerprint) for
+    shipping across domains or re-solve events. *)
+
+type sense = Le | Ge | Eq
+
+type outcome =
+  | Optimal of { objective : float; solution : float array }
+      (** [solution] covers the structural variables only. *)
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+type t
+
+val create :
+  nvars:int ->
+  obj:(int * float) list ->
+  lower:float array ->
+  upper:float array ->
+  rows:((int * float) list * sense * float) array ->
+  t
+(** Build a persistent instance: [nvars] structural variables with bounds
+    [lower.(j) <= x_j <= upper.(j)] (lower bounds must be finite), sparse
+    objective [obj] (minimized), and constraint rows given as
+    [(terms, sense, rhs)].  One slack and one artificial column are added
+    per row; the augmented matrix is stored once in CSC + CSR form.
+    Raises [Invalid_argument] on malformed input. *)
+
+val set_bounds : t -> int -> float -> float -> unit
+(** [set_bounds t j lo up] updates the bounds of structural variable [j].
+    Takes effect at the next {!optimize} / {!reoptimize}. *)
+
+val optimize : ?max_iters:int -> t -> outcome
+(** Cold solve: signed-artificial phase 1 from the all-logical basis,
+    then primal phase 2. *)
+
+val reoptimize : ?max_iters:int -> t -> outcome
+(** Warm solve from the current basis: refactor, restore dual
+    feasibility by nonbasic bound reassignment, run the dual simplex to
+    primal feasibility (dual unboundedness proves primal infeasibility),
+    then finish with primal phase 2.  Falls back to {!optimize} when no
+    basis exists or the warm path hits numerical trouble. *)
+
+val has_basis : t -> bool
+(** True once a solve has left an optimal basis to warm-start from. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+val snapshot_fingerprint : snapshot -> int
+
+val restore : t -> snapshot -> bool
+(** [restore t s] installs the snapshot's basis; returns false (leaving
+    [t] untouched) when the snapshot's structural fingerprint does not
+    match [t] — snapshots only transfer between instances of the same
+    matrix. *)
+
+type counters = {
+  pivots : int;
+  bound_flips : int;
+  iterations : int;
+  refactorizations : int;
+  eta_len : int;  (** current eta-file length *)
+  cold_falls : int;  (** warm re-solves that fell back to a cold solve *)
+}
+
+val counters : t -> counters
+(** Cumulative work counters since {!create}; also flushed to the
+    [sdnplace_simplex_*] telemetry series after every solve. *)

@@ -1,4 +1,17 @@
+module Csc = Csc
+module Lu = Lu
+module Revised = Revised
+
 type sense = Le | Ge | Eq
+
+type engine = Dense | Sparse
+
+let engine_name = function Dense -> "dense" | Sparse -> "sparse"
+
+let engine_of_string = function
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | _ -> None
 
 type row = { coeffs : (int * float) list; sense : sense; rhs : float }
 
@@ -322,9 +335,7 @@ let run_phase tab cost ~allowed ~iters_left =
    with Exit -> ());
   !result
 
-let solve ?(max_iters = 50_000) p =
-  validate p;
-  Telemetry.Metrics.incr m_solves;
+let solve_dense ~max_iters p =
   let tab = build p in
   let iters_left = ref max_iters in
   (* Phase 1: minimize the sum of artificials. *)
@@ -403,3 +414,37 @@ let solve ?(max_iters = 50_000) p =
   Telemetry.Metrics.add m_flips tab.n_flips;
   Telemetry.Metrics.add m_iterations (max_iters - !iters_left);
   result
+
+(* Sparse path: delegate to the revised simplex ({!Revised}) on a
+   one-shot instance.  Lower bounds are all zero in this interface, so a
+   straight translation of the rows suffices. *)
+let solve_sparse ~max_iters p =
+  let rows =
+    Array.of_list
+      (List.map
+         (fun r ->
+           ( r.coeffs,
+             (match r.sense with
+             | Le -> Revised.Le
+             | Ge -> Revised.Ge
+             | Eq -> Revised.Eq),
+             r.rhs ))
+         p.rows)
+  in
+  let t =
+    Revised.create ~nvars:p.num_vars ~obj:p.minimize
+      ~lower:(Array.make p.num_vars 0.0)
+      ~upper:p.upper ~rows
+  in
+  match Revised.optimize ~max_iters t with
+  | Revised.Optimal { objective; solution } -> Optimal { objective; solution }
+  | Revised.Infeasible -> Infeasible
+  | Revised.Unbounded -> Unbounded
+  | Revised.Iteration_limit -> Iteration_limit
+
+let solve ?(engine = Sparse) ?(max_iters = 50_000) p =
+  validate p;
+  Telemetry.Metrics.incr m_solves;
+  match engine with
+  | Dense -> solve_dense ~max_iters p
+  | Sparse -> solve_sparse ~max_iters p

@@ -9,6 +9,7 @@ let () =
       ("routing", Test_routing.suite);
       ("classbench", Test_classbench.suite);
       ("simplex", Test_simplex.suite);
+      ("sparse-lp", Test_sparse_lp.suite);
       ("ilp", Test_ilp.suite);
       ("cdcl", Test_cdcl.suite);
       ("dimacs", Test_dimacs.suite);

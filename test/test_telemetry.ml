@@ -231,6 +231,55 @@ let test_disabled_trace_is_inert () =
   Trace.with_span "ghost" (fun () -> ());
   Alcotest.(check int) "nothing recorded" before (List.length (Trace.spans ()))
 
+(* ---------------- LP engine instrumentation -------------------------- *)
+
+(* The sparse revised simplex and the warm-started branch & bound flush
+   work counters into the default registry: a solve with the sparse
+   engine must move the refactorization and warm-start series and leave
+   the eta-length gauge at the last solve's value. *)
+let test_simplex_series_record () =
+  let c_refactor = Metrics.counter "sdnplace_simplex_refactorizations_total" in
+  let c_hits = Metrics.counter "sdnplace_ilp_warm_start_hits_total" in
+  let c_misses = Metrics.counter "sdnplace_ilp_warm_start_misses_total" in
+  let g_eta = Metrics.gauge "sdnplace_simplex_eta_len" in
+  let r0 = Metrics.counter_value c_refactor in
+  let w0 = Metrics.counter_value c_hits + Metrics.counter_value c_misses in
+  Metrics.enable ();
+  Fun.protect ~finally:Metrics.disable (fun () ->
+      let inst =
+        Workload.build
+          {
+            Workload.default with
+            Workload.rules = 8;
+            paths = 16;
+            capacity = 60;
+          }
+      in
+      let options =
+        Placement.Solve.options ~lp_engine:Simplex.Sparse
+          ~ilp_config:{ Ilp.Solver.default_config with time_limit = 10.0 }
+          ()
+      in
+      ignore (Placement.Solve.run ~options inst));
+  Alcotest.(check bool) "refactorizations advanced" true
+    (Metrics.counter_value c_refactor > r0);
+  Alcotest.(check bool) "warm-start hits+misses advanced" true
+    (Metrics.counter_value c_hits + Metrics.counter_value c_misses > w0);
+  Alcotest.(check bool) "eta-len gauge is sane" true
+    (Metrics.gauge_value g_eta >= 0.0);
+  (* All four series belong to the exposition (a typo'd name would make
+     the checker reject the render in the metrics CI lane). *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (List.mem name (Metrics.series_names ())))
+    [
+      "sdnplace_simplex_refactorizations_total";
+      "sdnplace_simplex_eta_len";
+      "sdnplace_ilp_warm_start_hits_total";
+      "sdnplace_ilp_warm_start_misses_total";
+    ]
+
 (* ---------------- determinism: telemetry must not perturb runs ------- *)
 
 let drive_signatures ~seed =
@@ -303,6 +352,8 @@ let suite =
       test_span_nesting_and_export;
     Alcotest.test_case "disabled tracing records nothing" `Quick
       test_disabled_trace_is_inert;
+    Alcotest.test_case "simplex + warm-start series record" `Quick
+      test_simplex_series_record;
     Alcotest.test_case "telemetry does not perturb a seeded run" `Quick
       test_telemetry_does_not_perturb;
   ]
