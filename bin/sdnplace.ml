@@ -164,8 +164,37 @@ let strategy_arg =
            when $(b,--jobs) > 1), $(b,sat) the optimizing SAT descent, and \
            $(b,auto) picks from the instance's constrainedness.")
 
-let options_of merge slice engine lp_engine objective time_limit jobs strategy
-    =
+let features_arg =
+  let no_presolve =
+    Arg.(
+      value & flag
+      & info [ "no-presolve" ]
+          ~doc:
+            "Disable the ILP presolve reductions (variable fixing, \
+             redundant/duplicate/dominated row elimination).")
+  in
+  let no_cuts =
+    Arg.(
+      value & flag
+      & info [ "no-cuts" ]
+          ~doc:
+            "Disable root cutting planes (lifted cover and pigeonhole \
+             cuts on the persistent LP).")
+  in
+  let no_fpump =
+    Arg.(
+      value & flag
+      & info [ "no-fpump" ]
+          ~doc:
+            "Disable the feasibility-pump and objective-dive root \
+             incumbent heuristics.")
+  in
+  Term.(
+    const (fun p c f -> (not p, not c, not f))
+    $ no_presolve $ no_cuts $ no_fpump)
+
+let options_of merge slice engine lp_engine (presolve, cuts, fpump) objective
+    time_limit jobs strategy =
   let engine =
     match strategy with
     | Some `Portfolio -> Placement.Solve.Portfolio_engine
@@ -175,7 +204,8 @@ let options_of merge slice engine lp_engine objective time_limit jobs strategy
     | None -> engine
   in
   let jobs = if jobs <= 0 then Portfolio.default_jobs () else jobs in
-  Placement.Solve.options ~merge ~slice ~engine ~jobs ~lp_engine
+  Placement.Solve.options ~merge ~slice ~engine ~jobs ~lp_engine ~presolve
+    ~cuts ~fpump
     ~objective:
       (match objective with
       | `Total -> Placement.Encode.Total_rules
@@ -301,13 +331,14 @@ let print_solution (sol : Placement.Solution.t) =
       end)
     sol.Placement.Solution.per_switch
 
-let solve_run metrics trace file merge slice engine lp_engine objective
+let solve_run metrics trace file merge slice engine lp_engine features objective
     time_limit jobs strategy show_tables =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options =
-    options_of merge slice engine lp_engine objective time_limit jobs strategy
+    options_of merge slice engine lp_engine features objective time_limit jobs
+      strategy
   in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
@@ -334,7 +365,7 @@ let solve_cmd =
     (Cmd.info "solve" ~exits ~doc:"Place the rules and print the result.")
     Term.(
       const solve_run $ metrics_arg $ trace_arg $ instance_arg $ merge_flag
-      $ slice_flag $ engine_arg $ lp_engine_arg $ objective_arg
+      $ slice_flag $ engine_arg $ lp_engine_arg $ features_arg $ objective_arg
       $ time_limit_arg $ jobs_arg $ strategy_arg $ tables_flag)
 
 (* ---------------- balance ---------------- *)
@@ -376,13 +407,14 @@ let balance_cmd =
 
 (* ---------------- verify ---------------- *)
 
-let verify_run metrics trace file merge slice engine lp_engine objective
+let verify_run metrics trace file merge slice engine lp_engine features objective
     time_limit jobs strategy samples =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let inst = Placement.Spec.load file in
   let options =
-    options_of merge slice engine lp_engine objective time_limit jobs strategy
+    options_of merge slice engine lp_engine features objective time_limit jobs
+      strategy
   in
   let report = Placement.Solve.run ~options inst in
   Format.printf "%a@." Placement.Solve.pp_report report;
@@ -425,7 +457,7 @@ let verify_cmd =
     (Cmd.info "verify" ~exits ~doc:"Solve and verify the placement end to end.")
     Term.(
       const verify_run $ metrics_arg $ trace_arg $ instance_arg $ merge_flag
-      $ slice_flag $ engine_arg $ lp_engine_arg $ objective_arg
+      $ slice_flag $ engine_arg $ lp_engine_arg $ features_arg $ objective_arg
       $ time_limit_arg $ jobs_arg $ strategy_arg $ samples)
 
 (* ---------------- events ---------------- *)
@@ -478,13 +510,14 @@ let summarize_events ?(pre_failed = false) reports eng =
     exit_violations
   end
 
-let events_run metrics trace file merge slice engine lp_engine objective
+let events_run metrics trace file merge slice engine lp_engine features objective
     time_limit jobs strategy num_events seed fail_rate timeout_rate deadline
     rules journal resume =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let options =
-    options_of merge slice engine lp_engine objective time_limit jobs strategy
+    options_of merge slice engine lp_engine features objective time_limit jobs
+      strategy
   in
   let config =
     {
@@ -646,7 +679,7 @@ let events_cmd =
           interrupted run.")
     Term.(
       const events_run $ metrics_arg $ trace_arg $ instance $ merge_flag
-      $ slice_flag $ engine_arg $ lp_engine_arg $ objective_arg
+      $ slice_flag $ engine_arg $ lp_engine_arg $ features_arg $ objective_arg
       $ time_limit_arg $ jobs_arg $ strategy_arg $ num_events $ seed
       $ fail_rate $ timeout_rate $ deadline $ rules $ journal $ resume)
 

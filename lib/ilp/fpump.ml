@@ -1,0 +1,141 @@
+(* Feasibility pump and objective diving on the persistent root LP.
+
+   Both heuristics reuse the solver's factorized Simplex.Revised
+   instance instead of building their own: the pump alternates the true
+   objective with rounding-distance objectives via set_objective (each
+   re-solve is a warm dual/primal repair, not a cold solve), and the
+   dive pins one fractional variable at a time with set_bounds exactly
+   like a branch & bound node would.  Strong incumbents found here let
+   the tree prune against a near-optimal bound from node one. *)
+
+let itol = 1e-6
+
+let objective_value (model : Model.t) sol =
+  List.fold_left
+    (fun acc (c, v) -> if sol.((v : Model.var :> int)) then acc +. c else acc)
+    0.0 (Model.objective model)
+
+let feasible (model : Model.t) sol =
+  List.for_all
+    (fun (r : Model.row) ->
+      let lhs =
+        List.fold_left
+          (fun acc (c, v) -> if sol.((v : Model.var :> int)) then acc +. c else acc)
+          0.0 r.Model.terms
+      in
+      match r.Model.sense with
+      | Model.Le -> lhs <= r.Model.rhs +. itol
+      | Model.Ge -> lhs >= r.Model.rhs -. itol
+      | Model.Eq -> Float.abs (lhs -. r.Model.rhs) <= itol)
+    (Model.rows model)
+
+let true_objective (model : Model.t) =
+  List.map (fun (c, v) -> ((v : Model.var :> int), c)) (Model.objective model)
+
+(* LP-round-project loop.  From the LP optimum, round to the nearest 0-1
+   point; if infeasible, re-solve the LP minimizing the Hamming distance
+   to the rounding and repeat.  A revisited rounding (cycle) triggers a
+   seeded random perturbation, keeping runs deterministic for a fixed
+   seed.  The true objective is always restored before returning; the
+   caller owns the follow-up reoptimize. *)
+let pump ?(max_rounds = 40) ?(seed = 0x9e3779b9) ?(deadline = infinity) ~lp
+    (model : Model.t) =
+  let n = Model.num_vars model in
+  let g = Prng.create seed in
+  let seen = Hashtbl.create 64 in
+  let found = ref None in
+  let rounds = ref 0 in
+  let solve () = Simplex.Revised.reoptimize ~max_iters:30_000 ~deadline lp in
+  (match solve () with
+  | Simplex.Revised.Optimal { solution; _ } -> (
+    let x = ref solution in
+    try
+      while
+        !rounds < max_rounds
+        && (deadline = infinity || Unix.gettimeofday () < deadline)
+      do
+        incr rounds;
+        let xt = Array.init n (fun j -> !x.(j) >= 0.5) in
+        if feasible model xt then begin
+          found := Some xt;
+          raise Exit
+        end;
+        let h = Hashtbl.hash xt in
+        if Hashtbl.mem seen h then
+          (* Cycle: flip a few random coordinates to restart elsewhere. *)
+          for _ = 1 to 1 + (n / 20) do
+            let j = Prng.int g n in
+            xt.(j) <- not xt.(j)
+          done;
+        Hashtbl.replace seen h ();
+        Simplex.Revised.set_objective lp
+          (List.init n (fun j -> (j, if xt.(j) then -1.0 else 1.0)));
+        match solve () with
+        | Simplex.Revised.Optimal { solution; _ } -> x := solution
+        | _ -> raise Exit
+      done
+    with Exit -> ())
+  | _ -> ());
+  Simplex.Revised.set_objective lp (true_objective model);
+  (!found |> Option.map (fun xt -> (xt, objective_value model xt)), !rounds)
+
+(* Objective-driven dive: follow the true-objective LP, pinning the most
+   fractional variable to its nearest bound (with one retry on the
+   opposite bound if that kills the LP) until the relaxation comes out
+   integral.  [base_bounds] are the caller's per-variable root bounds,
+   restored before returning. *)
+let dive ?(max_depth = 400) ?(deadline = infinity) ~lp ~base_bounds
+    (model : Model.t) =
+  let n = Model.num_vars model in
+  let touched = ref [] in
+  let pin j v =
+    touched := j :: !touched;
+    Simplex.Revised.set_bounds lp j v v
+  in
+  let restore () =
+    List.iter
+      (fun j ->
+        let l, u = base_bounds.(j) in
+        Simplex.Revised.set_bounds lp j l u)
+      !touched
+  in
+  let solve () = Simplex.Revised.reoptimize ~max_iters:30_000 ~deadline lp in
+  let rec go x depth =
+    if depth > max_depth || (deadline < infinity && Unix.gettimeofday () > deadline)
+    then None
+    else begin
+      let xt = Array.init n (fun j -> x.(j) >= 0.5) in
+      if feasible model xt then Some xt
+      else begin
+        let j = ref (-1) and best = ref itol in
+        for v = 0 to n - 1 do
+          let f = Float.min x.(v) (1.0 -. x.(v)) in
+          if f > !best then begin
+            best := f;
+            j := v
+          end
+        done;
+        if !j < 0 then None
+        else begin
+          let j = !j in
+          let toward = if x.(j) >= 0.5 then 1.0 else 0.0 in
+          pin j toward;
+          match solve () with
+          | Simplex.Revised.Optimal { solution; _ } -> go solution (depth + 1)
+          | Simplex.Revised.Infeasible -> (
+            Simplex.Revised.set_bounds lp j (1.0 -. toward) (1.0 -. toward);
+            match solve () with
+            | Simplex.Revised.Optimal { solution; _ } -> go solution (depth + 1)
+            | _ -> None)
+          | _ -> None
+        end
+      end
+    end
+  in
+  let out =
+    match solve () with
+    | Simplex.Revised.Optimal { solution; _ } -> go solution 0
+    | _ -> None
+  in
+  restore ();
+  Option.map (fun xt -> (xt, objective_value model xt)) out

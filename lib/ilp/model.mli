@@ -20,12 +20,26 @@ val num_vars : t -> int
 
 val name : t -> var -> string
 
-val add_le : t -> (float * var) list -> float -> unit
-(** [add_le m terms b] adds Σ terms <= b. *)
+type kind =
+  | Generic
+  | Cover  (** unit-coefficient ≥ row: at least one var of a path set *)
+  | Capacity  (** TCAM budget ≤ row of a single switch (Eq. 2/5) *)
+  | Dependency  (** implication [a - b <= 0] (Eq. 1) *)
+  | Merge_def  (** merged-variable linking row (Eq. 4) *)
+  | Cut  (** separator-generated valid inequality *)
+(** Structural tag carried by each row.  Encoders label the rows they
+    emit so downstream passes (presolve, cut separation) can recover the
+    capacity/cover/dependency structure without re-deriving it from
+    coefficients; [Generic] is always safe and merely disables the
+    structure-specific treatments. *)
 
-val add_ge : t -> (float * var) list -> float -> unit
+val add_le : ?kind:kind -> t -> (float * var) list -> float -> unit
+(** [add_le m terms b] adds Σ terms <= b.  [kind] defaults to
+    [Generic]. *)
 
-val add_eq : t -> (float * var) list -> float -> unit
+val add_ge : ?kind:kind -> t -> (float * var) list -> float -> unit
+
+val add_eq : ?kind:kind -> t -> (float * var) list -> float -> unit
 
 val implies : t -> var -> var -> unit
 (** [implies m a b]: if [a] = 1 then [b] = 1 (encoded [a - b <= 0]) — the
@@ -43,7 +57,7 @@ val objective : t -> (float * var) list
 
 type sense = Le | Ge | Eq
 
-type row = { terms : (float * var) list; sense : sense; rhs : float }
+type row = { terms : (float * var) list; sense : sense; rhs : float; kind : kind }
 
 val rows : t -> row list
 (** In insertion order. *)

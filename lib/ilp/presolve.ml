@@ -1,0 +1,377 @@
+(* Root presolve for 0-1 models: bound propagation, duplicate and
+   dominated row removal, and safe column fixing, producing a smaller
+   model plus the bookkeeping to map solutions back.  Shrinking the
+   matrix before the first factorization cuts both the LP work per node
+   and the branching space; every reduction below preserves at least one
+   optimal solution of the original model. *)
+
+let eps = 1e-9
+
+type t = {
+  reduced : Model.t;
+  keep : int array;  (* reduced index -> original index *)
+  fixed : int array;  (* original index -> -1 free / 0 / 1 *)
+  obj_offset : float;
+  orig_vars : int;
+  rows_dropped : int;
+  vars_fixed : int;
+}
+
+type outcome = Reduced of t | Infeasible
+
+exception Infeas
+
+(* A working row: original sense and kind, terms over original indices
+   with duplicates merged, rhs already adjusted for fixed variables. *)
+type wrow = {
+  mutable coefs : float array;
+  mutable vars : int array;
+  mutable rhs : float;
+  sense : Model.sense;
+  kind : Model.kind;
+  mutable live : bool;
+}
+
+let merge_terms terms =
+  let sorted =
+    List.sort (fun (_, a) (_, b) -> compare a b)
+      (List.map (fun (c, v) -> (c, (v : Model.var :> int))) terms)
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (c, v) :: rest ->
+      let same, rest = List.partition (fun (_, v') -> v' = v) rest in
+      let c = List.fold_left (fun a (c', _) -> a +. c') c same in
+      go (if Float.abs c > 0.0 then (c, v) :: acc else acc) rest
+  in
+  go [] sorted
+
+(* Substitute current fixings into [r], dropping fixed terms into the
+   rhs.  Returns false when the row became empty (after checking that
+   the empty row is satisfiable). *)
+let substitute fixed r =
+  let n_free = ref 0 in
+  for i = 0 to Array.length r.vars - 1 do
+    if fixed.(r.vars.(i)) = -1 then incr n_free
+  done;
+  if !n_free <> Array.length r.vars then begin
+    let coefs = Array.make !n_free 0.0 and vars = Array.make !n_free 0 in
+    let p = ref 0 in
+    for i = 0 to Array.length r.vars - 1 do
+      let v = r.vars.(i) and c = r.coefs.(i) in
+      match fixed.(v) with
+      | -1 ->
+        coefs.(!p) <- c;
+        vars.(!p) <- v;
+        incr p
+      | f -> if f = 1 then r.rhs <- r.rhs -. c
+    done;
+    r.coefs <- coefs;
+    r.vars <- vars
+  end;
+  if Array.length r.vars = 0 then begin
+    let sat =
+      match r.sense with
+      | Model.Le -> r.rhs >= -.eps
+      | Model.Ge -> r.rhs <= eps
+      | Model.Eq -> Float.abs r.rhs <= eps
+    in
+    if not sat then raise Infeas;
+    false
+  end
+  else true
+
+let activity_bounds r =
+  let lo = ref 0.0 and hi = ref 0.0 in
+  Array.iter
+    (fun c -> if c > 0.0 then hi := !hi +. c else lo := !lo +. c)
+    r.coefs;
+  (!lo, !hi)
+
+(* Propagate one <=-oriented view (coefs, rhs) of a live row; returns
+   true when it fixed something. *)
+let propagate_le fixed coefs vars rhs =
+  let minact = ref 0.0 in
+  Array.iteri
+    (fun i c ->
+      match fixed.(vars.(i)) with
+      | -1 -> if c < 0.0 then minact := !minact +. c
+      | 1 -> minact := !minact +. c
+      | _ -> ())
+    coefs;
+  if !minact > rhs +. eps then raise Infeas;
+  let hit = ref false in
+  Array.iteri
+    (fun i c ->
+      let v = vars.(i) in
+      if fixed.(v) = -1 then
+        if c > 0.0 && !minact +. c > rhs +. eps then begin
+          fixed.(v) <- 0;
+          hit := true
+        end
+        else if c < 0.0 && !minact -. c > rhs +. eps then begin
+          fixed.(v) <- 1;
+          minact := !minact +. c;
+          hit := true
+        end)
+    coefs;
+  !hit
+
+let propagate fixed rows =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun r ->
+        if r.live then begin
+          (match r.sense with
+          | Model.Le -> if propagate_le fixed r.coefs r.vars r.rhs then changed := true
+          | Model.Ge ->
+            if propagate_le fixed (Array.map Float.neg r.coefs) r.vars (-.r.rhs)
+            then changed := true
+          | Model.Eq ->
+            if propagate_le fixed r.coefs r.vars r.rhs then changed := true;
+            if propagate_le fixed (Array.map Float.neg r.coefs) r.vars (-.r.rhs)
+            then changed := true);
+          if !changed then r.live <- substitute fixed r
+        end)
+      rows
+  done
+
+(* Row-level cleanup: substitution, activity-redundant rows, exact
+   duplicates (tightest rhs wins), and subset dominance among
+   unit-coefficient rows. *)
+let cleanup fixed rows =
+  Array.iter
+    (fun r ->
+      if r.live then begin
+        if substitute fixed r then begin
+          let lo, hi = activity_bounds r in
+          match r.sense with
+          | Model.Le -> if hi <= r.rhs +. eps then r.live <- false
+          | Model.Ge -> if lo >= r.rhs -. eps then r.live <- false
+          | Model.Eq -> ()
+        end
+        else r.live <- false
+      end)
+    rows;
+  (* Duplicates: same sense and term multiset. *)
+  let dup = Hashtbl.create 256 in
+  Array.iter
+    (fun r ->
+      if r.live then begin
+        let key = (r.sense, r.vars, r.coefs) in
+        match Hashtbl.find_opt dup key with
+        | None -> Hashtbl.add dup key r
+        | Some first -> (
+          r.live <- false;
+          match r.sense with
+          | Model.Le -> first.rhs <- Float.min first.rhs r.rhs
+          | Model.Ge -> first.rhs <- Float.max first.rhs r.rhs
+          | Model.Eq -> if Float.abs (first.rhs -. r.rhs) > eps then raise Infeas)
+      end)
+    rows;
+  (* Subset dominance among all-unit-coefficient rows.  Ge: A ⊆ B with
+     rhs_A >= rhs_B makes B redundant (Σ_B x >= Σ_A x >= rhs_A).  Le:
+     A ⊆ B with rhs_A >= rhs_B makes A redundant (Σ_A x <= Σ_B x <=
+     rhs_B).  In both cases the kept row is the subset (Ge) or the
+     superset (Le). *)
+  let unit r = r.live && Array.for_all (fun c -> Float.abs (c -. 1.0) <= eps) r.coefs in
+  let dominate sense =
+    let rs =
+      Array.of_list
+        (Array.fold_left (fun acc r -> if unit r && r.sense = sense then r :: acc else acc)
+           [] rows)
+    in
+    Array.sort (fun a b -> compare (Array.length a.vars) (Array.length b.vars)) rs;
+    let occ = Hashtbl.create 1024 in
+    let mark = Hashtbl.create 64 in
+    Array.iter
+      (fun r ->
+        if r.live then begin
+          (* Enumerate already-seen sets A ⊆ r via the least-frequent
+             member's occurrence list; ascending size order guarantees
+             subsets come first. *)
+          Hashtbl.reset mark;
+          Array.iter (fun v -> Hashtbl.replace mark v ()) r.vars;
+          let best_var = ref (-1) and best_n = ref max_int in
+          Array.iter
+            (fun v ->
+              let n =
+                match Hashtbl.find_opt occ v with Some l -> List.length l | None -> 0
+              in
+              if n < !best_n then begin
+                best_n := n;
+                best_var := v
+              end)
+            r.vars;
+          let cands =
+            if !best_var < 0 then []
+            else match Hashtbl.find_opt occ !best_var with Some l -> l | None -> []
+          in
+          let subsets =
+            List.filter
+              (fun a ->
+                a != r && a.live
+                && Array.length a.vars <= Array.length r.vars
+                && a.rhs >= r.rhs -. eps
+                && Array.for_all (fun v -> Hashtbl.mem mark v) a.vars)
+              cands
+          in
+          (match sense with
+          | Model.Ge ->
+            (* Σ_B x >= Σ_A x >= rhs_A >= rhs_B: the superset row [r] is
+               implied by any subset A with rhs_A >= rhs_B. *)
+            if subsets <> [] then r.live <- false
+          | _ ->
+            (* Le: Σ_A x <= Σ_B x <= rhs_B <= rhs_A: each subset row A
+               is implied by the superset [r]. *)
+            List.iter (fun a -> a.live <- false) subsets);
+          if r.live then
+            Array.iter
+              (fun v ->
+                Hashtbl.replace occ v
+                  (r :: (match Hashtbl.find_opt occ v with Some l -> l | None -> [])))
+              r.vars
+        end)
+      rs
+  in
+  dominate Model.Ge;
+  dominate Model.Le
+
+(* Column dominance: a variable with nonnegative cost whose only
+   appearances are nonnegative coefficients in <=-rows can always be 0
+   in some optimal solution; symmetrically a negative-cost variable
+   whose appearances only help feasibility can always be 1. *)
+let fix_dominated_columns fixed obj rows =
+  let n = Array.length fixed in
+  let bad0 = Array.make n false (* appearing where x=1 could be required *) in
+  let bad1 = Array.make n false (* appearing where x=1 could hurt *) in
+  Array.iter
+    (fun r ->
+      if r.live then
+        Array.iteri
+          (fun i c ->
+            let v = r.vars.(i) in
+            match r.sense with
+            | Model.Eq ->
+              bad0.(v) <- true;
+              bad1.(v) <- true
+            | Model.Le ->
+              if c < 0.0 then bad0.(v) <- true;
+              if c > 0.0 then bad1.(v) <- true
+            | Model.Ge ->
+              if c > 0.0 then bad0.(v) <- true;
+              if c < 0.0 then bad1.(v) <- true)
+          r.coefs)
+    rows;
+  let hit = ref false in
+  for v = 0 to n - 1 do
+    if fixed.(v) = -1 then
+      if obj.(v) >= 0.0 && not bad0.(v) then begin
+        fixed.(v) <- 0;
+        hit := true
+      end
+      else if obj.(v) < 0.0 && not bad1.(v) then begin
+        fixed.(v) <- 1;
+        hit := true
+      end
+  done;
+  !hit
+
+let reduce (model : Model.t) =
+  let n = Model.num_vars model in
+  let fixed = Array.make n (-1) in
+  let obj = Array.make n 0.0 in
+  List.iter
+    (fun (c, v) -> obj.((v : Model.var :> int)) <- obj.((v : Model.var :> int)) +. c)
+    (Model.objective model);
+  let rows =
+    Array.of_list
+      (List.map
+         (fun (r : Model.row) ->
+           let terms = merge_terms r.Model.terms in
+           {
+             coefs = Array.of_list (List.map fst terms);
+             vars = Array.of_list (List.map snd terms);
+             rhs = r.Model.rhs;
+             sense = r.Model.sense;
+             kind = r.Model.kind;
+             live = true;
+           })
+         (Model.rows model))
+  in
+  let total_rows = Array.length rows in
+  try
+    propagate fixed rows;
+    cleanup fixed rows;
+    let rounds = ref 0 in
+    while fix_dominated_columns fixed obj rows && !rounds < 3 do
+      incr rounds;
+      propagate fixed rows;
+      cleanup fixed rows
+    done;
+    (* Assemble the reduced model. *)
+    let map = Array.make n (-1) in
+    let n_keep = ref 0 in
+    for v = 0 to n - 1 do
+      if fixed.(v) = -1 then begin
+        map.(v) <- !n_keep;
+        incr n_keep
+      end
+    done;
+    let keep = Array.make !n_keep 0 in
+    for v = 0 to n - 1 do
+      if map.(v) >= 0 then keep.(map.(v)) <- v
+    done;
+    let reduced = Model.create () in
+    let rvars = Array.init !n_keep (fun _ -> Model.binary reduced) in
+    let live_rows = ref 0 in
+    Array.iter
+      (fun r ->
+        if r.live then begin
+          incr live_rows;
+          let terms =
+            Array.to_list
+              (Array.mapi (fun i c -> (c, rvars.(map.(r.vars.(i))))) r.coefs)
+          in
+          match r.sense with
+          | Model.Le -> Model.add_le ~kind:r.kind reduced terms r.rhs
+          | Model.Ge -> Model.add_ge ~kind:r.kind reduced terms r.rhs
+          | Model.Eq -> Model.add_eq ~kind:r.kind reduced terms r.rhs
+        end)
+      rows;
+    let offset = ref 0.0 in
+    for v = 0 to n - 1 do
+      if fixed.(v) = 1 then offset := !offset +. obj.(v)
+    done;
+    let oterms = ref [] in
+    for r = !n_keep - 1 downto 0 do
+      let c = obj.(keep.(r)) in
+      if c <> 0.0 then oterms := (c, rvars.(r)) :: !oterms
+    done;
+    Model.set_objective reduced !oterms;
+    Reduced
+      {
+        reduced;
+        keep;
+        fixed;
+        obj_offset = !offset;
+        orig_vars = n;
+        rows_dropped = total_rows - !live_rows;
+        vars_fixed = n - !n_keep;
+      }
+  with Infeas -> Infeasible
+
+let restore t sol =
+  if Array.length sol <> Array.length t.keep then
+    invalid_arg "Presolve.restore: solution length mismatch";
+  let out = Array.make t.orig_vars false in
+  Array.iteri (fun r v -> out.(v) <- sol.(r)) t.keep;
+  Array.iteri (fun v f -> if f = 1 then out.(v) <- true) t.fixed;
+  out
+
+let project t warm =
+  if Array.length warm <> t.orig_vars then
+    invalid_arg "Presolve.project: warm-start length mismatch";
+  Array.map (fun v -> warm.(v)) t.keep

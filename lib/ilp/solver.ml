@@ -13,6 +13,10 @@ type config = {
   lp_depth : int;
   lp_size_limit : int;
   lp_engine : Simplex.engine;
+  presolve : bool;
+  cuts : bool;
+  cut_rounds : int;
+  fpump : bool;
 }
 
 let default_config =
@@ -23,6 +27,10 @@ let default_config =
     lp_depth = 2;
     lp_size_limit = 12_000_000;
     lp_engine = Simplex.Sparse;
+    presolve = true;
+    cuts = true;
+    cut_rounds = 4;
+    fpump = true;
   }
 
 type stats = { nodes : int; lp_calls : int; elapsed : float; root_bound : float }
@@ -69,6 +77,31 @@ let m_warm_misses =
   Telemetry.Metrics.counter
     ~help:"LP solves that had no basis to warm-start from"
     "sdnplace_ilp_warm_start_misses_total"
+
+let m_cuts =
+  Telemetry.Metrics.counter
+    ~help:"cutting planes appended to the root LP"
+    "sdnplace_ilp_cuts_total"
+
+let m_cut_rounds =
+  Telemetry.Metrics.counter
+    ~help:"separation rounds that produced at least one cut"
+    "sdnplace_ilp_cut_rounds_total"
+
+let m_pump_rounds =
+  Telemetry.Metrics.counter
+    ~help:"feasibility-pump LP-round-project iterations"
+    "sdnplace_ilp_fpump_rounds_total"
+
+let m_presolve_vars =
+  Telemetry.Metrics.gauge
+    ~help:"variables eliminated by presolve in the last solve"
+    "sdnplace_ilp_presolve_vars_fixed"
+
+let m_presolve_rows =
+  Telemetry.Metrics.gauge
+    ~help:"rows dropped by presolve in the last solve"
+    "sdnplace_ilp_presolve_rows_dropped"
 
 let pp_outcome fmt = function
   | Optimal s -> Format.fprintf fmt "optimal (%g)" s.objective
@@ -151,6 +184,14 @@ type state = {
      their first LP from the root basis). *)
   mutable splx : Simplex.Revised.t option;
   mutable splx_seed : Simplex.Revised.snapshot option;
+  (* Cut rows separated at the root.  They are part of the LP for the
+     whole tree (cuts are derived from model rows only, so they are
+     globally valid); parallel workers receive them before building
+     their own LP so the root basis snapshot's fingerprint matches. *)
+  mutable extra_rows : ((int * float) list * Simplex.Revised.sense * float) array;
+  (* Wall-clock instant after which LP pivot loops give up; keeps a
+     single long relaxation from blowing through [time_limit]. *)
+  mutable lp_deadline : float;
 }
 
 let build_state model =
@@ -252,6 +293,8 @@ let build_state model =
     root_bound = neg_infinity;
     splx = None;
     splx_seed = None;
+    extra_rows = [||];
+    lp_deadline = infinity;
   }
 
 let assign st v b =
@@ -377,14 +420,16 @@ let bound st =
    basis dual-feasible, so each re-solve is a dual-simplex warm start. *)
 let build_splx st =
   let rows =
-    Array.map
-      (fun (r : lrow) ->
-        let terms = ref [] in
-        for k = Array.length r.vidx - 1 downto 0 do
-          terms := (r.vidx.(k), r.vcoef.(k)) :: !terms
-        done;
-        (!terms, Simplex.Revised.Le, r.rhs))
-      st.lrows
+    Array.append
+      (Array.map
+         (fun (r : lrow) ->
+           let terms = ref [] in
+           for k = Array.length r.vidx - 1 downto 0 do
+             terms := (r.vidx.(k), r.vcoef.(k)) :: !terms
+           done;
+           (!terms, Simplex.Revised.Le, r.rhs))
+         st.lrows)
+      st.extra_rows
   in
   let obj = ref [] in
   for v = st.n - 1 downto 0 do
@@ -395,7 +440,7 @@ let build_splx st =
     ~upper:(Array.make st.n 1.0)
     ~rows
 
-let lp_bound_sparse st =
+let lp_bound_sparse ?(max_iters = 20_000) ?point st =
   let lp =
     match st.splx with
     | Some lp -> lp
@@ -418,7 +463,7 @@ let lp_bound_sparse st =
   else Telemetry.Metrics.incr m_warm_misses;
   match
     Telemetry.Metrics.time m_lp_s (fun () ->
-        Simplex.Revised.reoptimize ~max_iters:20_000 lp)
+        Simplex.Revised.reoptimize ~max_iters ~deadline:st.lp_deadline ?point lp)
   with
   | Simplex.Revised.Optimal { objective; solution } ->
     (* The bounds pin fixed variables, so [objective] already includes
@@ -572,6 +617,18 @@ let set_best st values objective =
   st.best <- Some { values; objective };
   publish st.shared_obj objective
 
+(* Root dual bound usable for optimality tests: with an all-integer
+   objective the LP bound rounds up to the next integer. *)
+let settle_bound st =
+  if st.all_int && st.root_bound > neg_infinity then
+    Float.round (Float.ceil (st.root_bound -. eps))
+  else st.root_bound
+
+let settled st =
+  match st.best with
+  | Some b -> b.objective <= settle_bound st +. eps
+  | None -> false
+
 let record_incumbent st =
   let objective = st.obj_fixed in
   let improved =
@@ -580,7 +637,7 @@ let record_incumbent st =
   if improved then begin
     set_best st (Array.map (fun v -> v = 1) st.value) objective;
     (* The search proved a matching lower bound at the root: stop early. *)
-    if objective <= st.root_bound +. eps then raise Stop
+    if objective <= settle_bound st +. eps then raise Stop
   end
 
 let rec dfs st cfg ~start ~depth =
@@ -623,13 +680,142 @@ let rec dfs st cfg ~start ~depth =
         try_value (1 - first)
   end
 
+(* If the LP point is integral, promote it to an incumbent. *)
+let try_integral_incumbent st model map lp_sol =
+  let integral =
+    Array.for_all (fun x -> Float.abs (x -. Float.round x) < 1e-7) lp_sol
+  in
+  if integral then begin
+    let values = Array.map (fun v -> v = 1) st.value in
+    (match map with
+    | Some map ->
+      Array.iteri
+        (fun v f -> if f >= 0 then values.(v) <- lp_sol.(f) > 0.5)
+        map
+    | None ->
+      (* Sparse engine: the LP solution spans every variable. *)
+      Array.iteri
+        (fun v x -> if st.value.(v) = -1 then values.(v) <- x > 0.5)
+        lp_sol);
+    if check_feasible model values then
+      let objective = objective_value model values in
+      let better =
+        match st.best with
+        | None -> true
+        | Some b -> objective < b.objective -. 1e-9
+      in
+      if better then set_best st values objective
+  end
+
+(* Root cutting-plane loop on the persistent sparse LP.  Cuts are
+   separated from model structure only (never node fixings), so they are
+   valid for the whole 0-1 feasible set: they stay in the LP across the
+   entire tree and are shipped to parallel workers via [st.extra_rows].
+   Each accepted round appends rows to the factorized instance
+   ([Revised.add_rows] carries the basis, leaving it dual-feasible) and
+   re-solves with the dual simplex.  A cut-LP infeasibility proves the
+   model infeasible. *)
+let cut_loop st config model last_sol root_ok =
+  let ctx = Cuts.prepare model in
+  let pool = Hashtbl.create 64 in
+  let round = ref 0 and go = ref true in
+  while !go && !round < config.cut_rounds do
+    incr round;
+    match (st.splx, !last_sol) with
+    | Some lp, Some x ->
+      let fresh =
+        Cuts.separate ctx x
+        |> List.filter (fun c ->
+               let k = Cuts.key c in
+               if Hashtbl.mem pool k then false
+               else begin
+                 Hashtbl.add pool k ();
+                 true
+               end)
+      in
+      if fresh = [] then go := false
+      else begin
+        let rows =
+          Array.of_list
+            (List.map
+               (fun (c : Cuts.cut) ->
+                 let sense =
+                   match c.Cuts.sense with
+                   | Model.Le -> Simplex.Revised.Le
+                   | Model.Ge -> Simplex.Revised.Ge
+                   | Model.Eq -> Simplex.Revised.Eq
+                 in
+                 ( List.map (fun (coef, v) -> (v, coef)) c.Cuts.terms,
+                   sense,
+                   c.Cuts.rhs ))
+               fresh)
+        in
+        let lp = Simplex.Revised.add_rows lp rows in
+        st.splx <- Some lp;
+        st.extra_rows <- Array.append st.extra_rows rows;
+        Telemetry.Metrics.add m_cuts (Array.length rows);
+        Telemetry.Metrics.incr m_cut_rounds;
+        st.lp_calls <- st.lp_calls + 1;
+        match
+          Telemetry.Metrics.time m_lp_s (fun () ->
+              Simplex.Revised.reoptimize ~max_iters:100_000
+                ~deadline:st.lp_deadline lp)
+        with
+        | Simplex.Revised.Optimal { objective; solution } ->
+          if objective > st.root_bound then st.root_bound <- objective;
+          last_sol := Some solution;
+          try_integral_incumbent st model None solution
+        | Simplex.Revised.Infeasible ->
+          root_ok := false;
+          go := false
+        | Simplex.Revised.Unbounded | Simplex.Revised.Iteration_limit ->
+          go := false
+      end
+    | _ -> go := false
+  done
+
+(* Primal heuristics at the root: feasibility pump for a first (or
+   better) incumbent, then an objective dive when the pump's point does
+   not already match the bound.  Both borrow the persistent LP. *)
+let pump_and_dive st model =
+  match st.splx with
+  | None -> ()
+  | Some lp ->
+    let deadline = st.lp_deadline in
+    let better obj =
+      match st.best with None -> true | Some b -> obj < b.objective -. 1e-9
+    in
+    let sol, rounds = Fpump.pump ~deadline ~lp model in
+    Telemetry.Metrics.add m_pump_rounds rounds;
+    (match sol with
+    | Some (xt, obj) when better obj && check_feasible model xt ->
+      set_best st xt obj
+    | _ -> ());
+    if not (settled st) then begin
+      let base_bounds =
+        Array.init st.n (fun v ->
+            match st.value.(v) with
+            | -1 -> (0.0, 1.0)
+            | 0 -> (0.0, 0.0)
+            | _ -> (1.0, 1.0))
+      in
+      match Fpump.dive ~deadline ~lp ~base_bounds model with
+      | Some (xt, obj) when better obj && check_feasible model xt ->
+        set_best st xt obj
+      | _ -> ()
+    end
+
 (* Root work shared by the sequential and parallel drivers: warm start,
-   root propagation, root LP (with the integral-hint incumbent).
+   root propagation, root LP (crash-started from the incumbent, with the
+   integral-hint incumbent), cutting planes, primal heuristics.
    Returns the prepared state plus [`Settled outcome] when the root
    already decides the instance, [`Open] otherwise. *)
-let prepare ~config ~cancel ?warm_start ?basis model =
+let prepare ~config ~cancel ?wall_deadline ?warm_start ?basis model =
   let st = build_state model in
   st.cancel <- cancel;
+  (match wall_deadline with
+  | Some d -> st.lp_deadline <- d
+  | None -> ());
   (* An externally supplied basis cell (see [solve]) seeds the first
      sparse LP — the root re-solve warm-starts from the previous solve's
      optimal basis when the model shape matches (fingerprint-guarded
@@ -643,45 +829,52 @@ let prepare ~config ~cancel ?warm_start ?basis model =
   if not (propagate_root st) then (st, `Settled Infeasible)
   else begin
     let root_ok = ref true in
-    (if config.lp_root then
-       match (try lp_bound st config with Conflict -> root_ok := false; None) with
+    let last_sol = ref None in
+    (if config.lp_root then begin
+       (* A known incumbent crashes the first basis: nonbasic statuses
+          at the bound nearest the integer point give a primal-feasible
+          start, skipping phase 1 entirely on paper-scale instances. *)
+       let point =
+         match (st.best, config.lp_engine) with
+         | Some b, Simplex.Sparse when st.splx_seed = None ->
+           Some (Array.map (fun v -> if v then 1.0 else 0.0) b.values)
+         | _ -> None
+       in
+       let res =
+         try
+           match config.lp_engine with
+           | Simplex.Sparse -> lp_bound_sparse ~max_iters:200_000 ?point st
+           | Simplex.Dense -> lp_bound_dense st config
+         with Conflict ->
+           root_ok := false;
+           None
+       in
+       match res with
        | Some (b, hint) ->
          st.root_bound <- b;
          (* An integral LP optimum is already the answer. *)
          (match hint with
          | Some (map, lp_sol) ->
-           let integral =
-             Array.for_all
-               (fun x -> Float.abs (x -. Float.round x) < 1e-7)
-               lp_sol
-           in
-           if integral then begin
-             let values = Array.map (fun v -> v = 1) st.value in
-             (match map with
-             | Some map ->
-               Array.iteri
-                 (fun v f -> if f >= 0 then values.(v) <- lp_sol.(f) > 0.5)
-                 map
-             | None ->
-               (* Sparse engine: the LP solution spans every variable. *)
-               Array.iteri
-                 (fun v x -> if st.value.(v) = -1 then values.(v) <- x > 0.5)
-                 lp_sol);
-             if check_feasible model values then
-               let objective = objective_value model values in
-               let better =
-                 match st.best with
-                 | None -> true
-                 | Some b -> objective < b.objective -. 1e-9
-               in
-               if better then set_best st values objective
-           end
+           if map = None then last_sol := Some lp_sol;
+           try_integral_incumbent st model map lp_sol
          | None -> ())
-       | None -> ());
+       | None -> ()
+     end);
+    if
+      !root_ok && config.cuts
+      && config.lp_engine = Simplex.Sparse
+      && not (settled st)
+    then cut_loop st config model last_sol root_ok;
+    if
+      !root_ok && config.fpump
+      && config.lp_engine = Simplex.Sparse
+      && !last_sol <> None
+      && not (settled st)
+    then pump_and_dive st model;
     if not !root_ok then (st, `Settled Infeasible)
     else
       match st.best with
-      | Some b when b.objective <= st.root_bound +. eps ->
+      | Some b when b.objective <= settle_bound st +. eps ->
         (st, `Settled (Optimal b))
       | _ -> (st, `Open)
   end
@@ -698,11 +891,13 @@ let export_basis st basis =
     | _ -> ())
   | None -> ()
 
-let solve ?(config = default_config) ?(cancel = fun () -> false) ?warm_start
-    ?basis model =
+let solve_inner ~config ~cancel ?warm_start ?basis model =
   let start = Sys.time () in
+  let wall_deadline = Unix.gettimeofday () +. config.time_limit in
   Telemetry.Metrics.incr m_solves;
-  let st, root = prepare ~config ~cancel ?warm_start ?basis model in
+  let st, root =
+    prepare ~config ~cancel ~wall_deadline ?warm_start ?basis model
+  in
   let finish outcome =
     let s =
       {
@@ -779,13 +974,16 @@ let split_frontier st ~target =
   done;
   q |> Queue.to_seq |> Seq.map Array.of_list |> Array.of_seq
 
-let solve_parallel ?(config = default_config) ?(jobs = 1)
-    ?(cancel = fun () -> false) ?warm_start ?basis model =
-  if jobs <= 1 then solve ~config ~cancel ?warm_start ?basis model
+let solve_parallel_inner ~config ~jobs ~cancel ?warm_start ?basis model =
+  if jobs <= 1 then solve_inner ~config ~cancel ?warm_start ?basis model
   else begin
     let wall0 = Unix.gettimeofday () in
     Telemetry.Metrics.incr m_solves;
-    let st, root = prepare ~config ~cancel ?warm_start ?basis model in
+    let st, root =
+      prepare ~config ~cancel
+        ~wall_deadline:(wall0 +. config.time_limit)
+        ?warm_start ?basis model
+    in
     let finish ?(extra_nodes = 0) ?(extra_lp = 0) outcome =
       let s =
         {
@@ -844,6 +1042,11 @@ let solve_parallel ?(config = default_config) ?(jobs = 1)
           w.root_bound <- st.root_bound;
           w.cancel <- worker_cancel;
           w.splx_seed <- root_basis;
+          (* Root cuts are globally valid, so workers keep them — and the
+             worker LP must carry the same rows anyway for the root basis
+             snapshot's fingerprint to match. *)
+          w.extra_rows <- st.extra_rows;
+          w.lp_deadline <- deadline;
           if not (propagate_root w) then (None, 0, 0, false)
           else begin
             let base = w.trail_len in
@@ -909,3 +1112,89 @@ let solve_parallel ?(config = default_config) ?(jobs = 1)
         finish ~extra_nodes ~extra_lp outcome
       end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Presolve wrapper                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Reduce the model before the search ever factorizes an LP: variable
+   fixing, redundant/duplicate/dominated row elimination.  The core
+   solver runs on the reduced model (with [presolve = false] so the
+   inner driver never recurses); solutions are lifted back through
+   [Presolve.restore] and objectives shifted by the fixed contribution. *)
+let run_presolved ~run ~config ?warm_start model =
+  let t0 = Sys.time () in
+  match Presolve.reduce model with
+  | Presolve.Infeasible ->
+    Telemetry.Metrics.incr m_solves;
+    ( Infeasible,
+      {
+        nodes = 0;
+        lp_calls = 0;
+        elapsed = Sys.time () -. t0;
+        root_bound = neg_infinity;
+      } )
+  | Presolve.Reduced red ->
+    Telemetry.Metrics.set m_presolve_vars (float_of_int red.Presolve.vars_fixed);
+    Telemetry.Metrics.set m_presolve_rows
+      (float_of_int red.Presolve.rows_dropped);
+    if Model.num_vars red.Presolve.reduced = 0 then begin
+      (* Everything fixed by propagation: the reduction IS the solution
+         (cleanup checked every row under the fixings). *)
+      Telemetry.Metrics.incr m_solves;
+      let values = Presolve.restore red [||] in
+      let outcome =
+        if check_feasible model values then
+          Optimal { values; objective = red.Presolve.obj_offset }
+        else Infeasible
+      in
+      ( outcome,
+        {
+          nodes = 0;
+          lp_calls = 0;
+          elapsed = Sys.time () -. t0;
+          root_bound = red.Presolve.obj_offset;
+        } )
+    end
+    else begin
+      let warm' =
+        match warm_start with
+        | Some w when Array.length w = Model.num_vars model ->
+          Some (Presolve.project red w)
+        | _ -> None
+      in
+      let ((outcome, s) : outcome * stats) =
+        run { config with presolve = false } warm' red.Presolve.reduced
+      in
+      let lift (sol : solution) =
+        {
+          values = Presolve.restore red sol.values;
+          objective = sol.objective +. red.Presolve.obj_offset;
+        }
+      in
+      let outcome =
+        match outcome with
+        | Optimal sol -> Optimal (lift sol)
+        | Feasible sol -> Feasible (lift sol)
+        | Infeasible -> Infeasible
+        | Unknown -> Unknown
+      in
+      (outcome, { s with root_bound = s.root_bound +. red.Presolve.obj_offset })
+    end
+
+let solve ?(config = default_config) ?(cancel = fun () -> false) ?warm_start
+    ?basis model =
+  if not config.presolve then solve_inner ~config ~cancel ?warm_start ?basis model
+  else
+    run_presolved ~config ?warm_start model
+      ~run:(fun config warm m ->
+        solve_inner ~config ~cancel ?warm_start:warm ?basis m)
+
+let solve_parallel ?(config = default_config) ?(jobs = 1)
+    ?(cancel = fun () -> false) ?warm_start ?basis model =
+  if not config.presolve then
+    solve_parallel_inner ~config ~jobs ~cancel ?warm_start ?basis model
+  else
+    run_presolved ~config ?warm_start model
+      ~run:(fun config warm m ->
+        solve_parallel_inner ~config ~jobs ~cancel ?warm_start:warm ?basis m)

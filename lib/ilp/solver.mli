@@ -43,11 +43,22 @@ type config = {
           leaves the basis dual-feasible); parallel workers warm their
           first LP from a root-basis snapshot.  [Dense] rebuilds a
           reduced dense-tableau LP per node — the reference oracle. *)
+  presolve : bool;
+      (** reduce the model before the search (variable fixing,
+          redundant/duplicate/dominated row elimination — {!Presolve});
+          solutions are lifted back automatically *)
+  cuts : bool;
+      (** separate cover/pigeonhole cutting planes at the root and keep
+          them in the LP for the whole tree (sparse engine only) *)
+  cut_rounds : int;  (** maximum root separation rounds *)
+  fpump : bool;
+      (** run the feasibility pump and an objective dive at the root for
+          strong incumbents (sparse engine only) *)
 }
 
 val default_config : config
 (** 60 s, 2M nodes, root LP plus LP to depth 2, size limit 12M, sparse
-    LP engine. *)
+    LP engine, presolve + 4 cut rounds + feasibility pump enabled. *)
 
 type stats = {
   nodes : int;

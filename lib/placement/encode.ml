@@ -84,7 +84,9 @@ let to_model ?(objective = Total_rules) (layout : Layout.t) =
     layout.Layout.forbidden;
   List.iter
     (fun cover ->
-      Ilp.Model.add_ge model (List.map (fun v -> (1.0, vars.(v))) cover) 1.0)
+      Ilp.Model.add_ge ~kind:Ilp.Model.Cover model
+        (List.map (fun v -> (1.0, vars.(v))) cover)
+        1.0)
     layout.Layout.covers;
   List.iter
     (fun (cap : Layout.capacity) ->
@@ -96,13 +98,14 @@ let to_model ?(objective = Total_rules) (layout : Layout.t) =
               :: List.map (fun v -> (1.0, vars.(v))) members)
             cap.Layout.grouped
       in
-      Ilp.Model.add_le model terms (float_of_int cap.Layout.bound))
+      Ilp.Model.add_le ~kind:Ilp.Model.Capacity model terms
+        (float_of_int cap.Layout.bound))
     layout.Layout.capacities;
   List.iter
     (fun (mv, members) ->
       let m = float_of_int (List.length members) in
       (* Eq. 4: v_m >= sum v - (M - 1). *)
-      Ilp.Model.add_ge model
+      Ilp.Model.add_ge ~kind:Ilp.Model.Merge_def model
         ((1.0, vars.(mv)) :: List.map (fun v -> (-1.0, vars.(v))) members)
         (1.0 -. m);
       (* Eq. 5 of the paper is v_m <= (1/M) sum v; over binaries that is

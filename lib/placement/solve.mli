@@ -73,14 +73,19 @@ val options :
   ?engine:engine ->
   ?ilp_config:Ilp.Solver.config ->
   ?lp_engine:Simplex.engine ->
+  ?presolve:bool ->
+  ?cuts:bool ->
+  ?fpump:bool ->
   ?sat_conflict_limit:int ->
   ?greedy_warm_start:bool ->
   ?jobs:int ->
   ?lp_basis:Simplex.Revised.snapshot option ref ->
   unit ->
   options
-(** [lp_engine] overrides [ilp_config]'s LP engine field in one step —
-    the hook behind the [--lp-engine] CLI/bench flag. *)
+(** [lp_engine] (and likewise [presolve], [cuts], [fpump]) override the
+    matching [ilp_config] field in one step — the hooks behind the
+    [--lp-engine] / [--no-presolve] / [--no-cuts] / [--no-fpump]
+    CLI/bench flags. *)
 
 type timing = {
   redundancy_s : float;

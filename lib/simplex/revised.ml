@@ -51,6 +51,7 @@ type t = {
   mutable bland : bool;
   mutable stall : int;
   mutable iters_left : int;
+  mutable deadline : float;  (** Sys.time instant; [infinity] disables *)
   (* counters *)
   mutable c_pivots : int;
   mutable c_flips : int;
@@ -202,6 +203,7 @@ let create ~nvars ~obj ~lower ~upper ~rows =
     bland = false;
     stall = 0;
     iters_left = 0;
+    deadline = infinity;
     c_pivots = 0;
     c_flips = 0;
     c_iters = 0;
@@ -527,13 +529,20 @@ let primal_step t =
 (* Run primal iterations to optimality for the current cost vector.
    Optimality is only declared once an exact reduced-cost recomputation
    confirms it, so incremental drift can never fake convergence. *)
+(* Coarse wall-clock cutoff shared by both pivot loops; checked every
+   256 iterations so the hot path stays syscall-free. *)
+let out_of_time t =
+  t.deadline < infinity
+  && t.c_iters land 255 = 0
+  && Unix.gettimeofday () > t.deadline
+
 let run_primal t =
   t.bland <- false;
   t.stall <- 0;
   let result = ref Iteration_limit in
   (try
      while true do
-       if t.iters_left <= 0 then raise Exit;
+       if t.iters_left <= 0 || out_of_time t then raise Exit;
        t.iters_left <- t.iters_left - 1;
        t.c_iters <- t.c_iters + 1;
        match primal_step t with
@@ -646,7 +655,7 @@ let run_dual t =
   let result = ref Dlimit in
   (try
      while true do
-       if t.iters_left <= 0 then raise Exit;
+       if t.iters_left <= 0 || out_of_time t then raise Exit;
        t.iters_left <- t.iters_left - 1;
        t.c_iters <- t.c_iters + 1;
        match dual_step t with
@@ -687,16 +696,29 @@ let extract t =
 (* All-logical starting basis: the slack absorbs the row's residual when
    it can; otherwise the signed bounded artificial does, and carries the
    phase-1 cost.  The resulting basis is the identity, so the first
-   factorization is trivial. *)
-let init_logical_basis t =
+   factorization is trivial.
+
+   With [?point] each structural nonbasic sits at the bound nearest the
+   supplied value instead of always at its lower bound.  A feasible 0/1
+   point then leaves every slack able to absorb its row's residual, no
+   artificial is needed, and phase 1 is skipped entirely: the crash basis
+   starts phase 2 at the point's own objective. *)
+let init_logical_basis ?point t =
   let ns = t.n_struct and m = t.m in
   for j = 0 to ns - 1 do
     if t.inbasis.(j) >= 0 then t.inbasis.(j) <- -1;
-    t.stat.(j) <- Slower
+    t.stat.(j) <-
+      (match point with
+      | Some p
+        when t.lo.(j) < t.up.(j)
+             && t.up.(j) < infinity
+             && Float.abs (p.(j) -. t.up.(j)) < Float.abs (p.(j) -. t.lo.(j)) ->
+        Supper
+      | _ -> Slower)
   done;
   Array.blit t.b 0 t.rw 0 m;
   for j = 0 to ns - 1 do
-    let v = t.lo.(j) in
+    let v = nb_value t j in
     if v <> 0.0 then Csc.col_iter t.a j (fun i aij -> t.rw.(i) <- t.rw.(i) -. (aij *. v))
   done;
   let any_art = ref false in
@@ -764,8 +786,18 @@ let reset_pricing t =
   t.price_start <- 0;
   Array.fill t.gamma 0 t.n 1.0
 
-let cold_optimize t =
-  let need_phase1 = init_logical_basis t in
+(* Once phase 2 is entered the artificials are locked to [0,0], so the
+   basis stays warm-startable even if the iteration budget runs out
+   mid-solve: marking [solved_once] here lets the next [reoptimize]
+   resume from the partial basis instead of cold-starting.  Mid-phase-1
+   bases are never marked (their artificials still carry residuals). *)
+let enter_phase2 t =
+  lock_artificials t;
+  t.cost <- t.obj;
+  t.solved_once <- true
+
+let cold_optimize ?point t =
+  let need_phase1 = init_logical_basis ?point t in
   if need_phase1 then begin
     t.cost <- t.pobj;
     refactor t;
@@ -774,15 +806,12 @@ let cold_optimize t =
     | Optimal _ ->
       if phase1_objective t > 1e-6 then Infeasible
       else begin
-        lock_artificials t;
-        t.cost <- t.obj;
+        enter_phase2 t;
         compute_xb t;
         compute_d t;
         reset_pricing t;
         match run_primal t with
-        | Optimal _ ->
-          t.solved_once <- true;
-          extract t
+        | Optimal _ -> extract t
         | other -> other
       end
     | Unbounded ->
@@ -791,14 +820,11 @@ let cold_optimize t =
     | other -> other
   end
   else begin
-    lock_artificials t;
-    t.cost <- t.obj;
+    enter_phase2 t;
     refactor t;
     reset_pricing t;
     match run_primal t with
-    | Optimal _ ->
-      t.solved_once <- true;
-      extract t
+    | Optimal _ -> extract t
     | other -> other
   end
 
@@ -864,22 +890,101 @@ let flush t f =
       Telemetry.Metrics.set m_eta_len (float_of_int t.n_eta))
     f
 
-let optimize ?(max_iters = 50_000) t =
+let optimize ?(max_iters = 50_000) ?(deadline = infinity) ?point t =
   t.iters_left <- max_iters;
+  t.deadline <- deadline;
   flush t @@ fun () ->
-  try cold_optimize t with Fallback | Lu.Singular -> Iteration_limit
+  try cold_optimize ?point t with Fallback | Lu.Singular -> Iteration_limit
 
-let reoptimize ?(max_iters = 50_000) t =
+let reoptimize ?(max_iters = 50_000) ?(deadline = infinity) ?point t =
   t.iters_left <- max_iters;
+  t.deadline <- deadline;
   flush t @@ fun () ->
   try
-    if not t.solved_once then cold_optimize t
+    if not t.solved_once then cold_optimize ?point t
     else
       try warm_optimize t
       with Fallback | Lu.Singular ->
         t.c_falls <- t.c_falls + 1;
-        cold_optimize t
+        cold_optimize ?point t
   with Fallback | Lu.Singular -> Iteration_limit
+
+(* ---------- in-place objective replacement ---------- *)
+
+(* [t.cost] aliases [t.obj] outside phase 1, so mutating the entries in
+   place keeps both views consistent; the next [reoptimize] recomputes
+   reduced costs from scratch (d_exact is cleared) and re-sites
+   nonbasics, which is exactly a dual-feasibility repair for the new
+   objective.  Used by the feasibility pump to swap distance objectives
+   in and out without rebuilding the instance. *)
+let set_objective t obj =
+  Array.fill t.obj 0 t.n_struct 0.0;
+  List.iter
+    (fun (j, c) ->
+      if j < 0 || j >= t.n_struct then
+        invalid_arg "Revised.set_objective: variable index out of range";
+      t.obj.(j) <- t.obj.(j) +. c)
+    obj;
+  t.d_exact <- false
+
+(* ---------- row append ---------- *)
+
+(* Appending rows to a factorized instance: rebuild the augmented matrix
+   (original rows recovered from the CSR, structural entries only) with
+   the extra rows, then carry the basis across.  Structural and slack
+   column indices are unchanged; artificial indices shift by the number
+   of new rows; each new row's slack enters the basis.  When every new
+   row is a cut that the current solution violates, the carried basis is
+   primal infeasible but still dual feasible, so [reoptimize]'s dual
+   simplex restores optimality in a few pivots instead of resolving from
+   scratch. *)
+let add_rows t extra =
+  let ne = Array.length extra in
+  if ne = 0 then t
+  else begin
+    let ns = t.n_struct and m0 = t.m in
+    let rows =
+      Array.init (m0 + ne) (fun k ->
+          if k < m0 then begin
+            let terms = ref [] in
+            Csc.row_iter t.a k (fun j v -> if j < ns then terms := (j, v) :: !terms);
+            (!terms, t.senses.(k), t.b.(k))
+          end
+          else extra.(k - m0))
+    in
+    let obj = ref [] in
+    for j = ns - 1 downto 0 do
+      if t.obj.(j) <> 0.0 then obj := (j, t.obj.(j)) :: !obj
+    done;
+    let t' =
+      create ~nvars:ns ~obj:!obj ~lower:(Array.sub t.lo 0 ns)
+        ~upper:(Array.sub t.up 0 ns) ~rows
+    in
+    if t.solved_once then begin
+      Array.blit t.stat 0 t'.stat 0 (ns + m0);
+      Array.fill t'.stat (ns + m0) (t'.n - ns - m0) Slower;
+      for k = 0 to m0 - 1 do
+        let v = t.basis.(k) in
+        t'.basis.(k) <- (if v < ns + m0 then v else v + ne)
+      done;
+      for k = m0 to m0 + ne - 1 do
+        t'.basis.(k) <- ns + k
+      done;
+      Array.fill t'.inbasis 0 t'.n (-1);
+      Array.iteri
+        (fun k v ->
+          t'.inbasis.(v) <- k;
+          t'.stat.(v) <- Sbasic)
+        t'.basis;
+      t'.solved_once <- true
+    end;
+    t'.c_pivots <- t.c_pivots;
+    t'.c_flips <- t.c_flips;
+    t'.c_iters <- t.c_iters;
+    t'.c_refactor <- t.c_refactor;
+    t'.c_falls <- t.c_falls;
+    t'
+  end
 
 (* ---------- basis snapshots ---------- *)
 

@@ -47,19 +47,51 @@ val set_bounds : t -> int -> float -> float -> unit
 (** [set_bounds t j lo up] updates the bounds of structural variable [j].
     Takes effect at the next {!optimize} / {!reoptimize}. *)
 
-val optimize : ?max_iters:int -> t -> outcome
+val optimize :
+  ?max_iters:int -> ?deadline:float -> ?point:float array -> t -> outcome
 (** Cold solve: signed-artificial phase 1 from the all-logical basis,
-    then primal phase 2. *)
+    then primal phase 2.
 
-val reoptimize : ?max_iters:int -> t -> outcome
+    [?deadline] is an absolute [Unix.gettimeofday] instant; the pivot
+    loops check it every 256 iterations and return {!Iteration_limit}
+    past it.  [?point] supplies a crash point (length [nvars]): each
+    structural nonbasic starts at the bound nearest its value.  When the
+    point satisfies every row — e.g. a known-feasible incumbent — no
+    artificial is needed, phase 1 is skipped, and phase 2 starts at the
+    point's own objective. *)
+
+val reoptimize :
+  ?max_iters:int -> ?deadline:float -> ?point:float array -> t -> outcome
 (** Warm solve from the current basis: refactor, restore dual
     feasibility by nonbasic bound reassignment, run the dual simplex to
     primal feasibility (dual unboundedness proves primal infeasibility),
     then finish with primal phase 2.  Falls back to {!optimize} when no
-    basis exists or the warm path hits numerical trouble. *)
+    basis exists or the warm path hits numerical trouble ([?point] only
+    applies to that cold path). *)
 
 val has_basis : t -> bool
-(** True once a solve has left an optimal basis to warm-start from. *)
+(** True once the instance holds a warm-startable basis.  This includes
+    {e partial} bases: a solve that entered phase 2 but ran out of
+    iterations or time still leaves a basis the next {!reoptimize} can
+    resume from, so capped solves make monotone progress across calls. *)
+
+val set_objective : t -> (int * float) list -> unit
+(** Replace the objective over the structural variables (entries not
+    listed become zero).  Takes effect at the next {!reoptimize}, which
+    repairs dual feasibility for the new costs; the basis is kept.  Used
+    by the feasibility pump to alternate between the true objective and
+    rounding-distance objectives on one factorized instance. *)
+
+val add_rows : t -> ((int * float) list * sense * float) array -> t
+(** [add_rows t extra] returns a {b new} instance whose matrix is [t]'s
+    rows followed by [extra] (same structural variables, current bounds
+    and objective), carrying [t]'s basis across: structural and slack
+    columns keep their indices, artificials shift, and each new row's
+    slack enters the basis.  If the new rows are violated cuts, the
+    carried basis is dual feasible and {!reoptimize} re-establishes
+    optimality with a short dual-simplex run.  [t] itself is unchanged
+    (and still usable); snapshots do not transfer across the append
+    because the fingerprint covers the row count. *)
 
 type snapshot
 

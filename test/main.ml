@@ -11,6 +11,7 @@ let () =
       ("simplex", Test_simplex.suite);
       ("sparse-lp", Test_sparse_lp.suite);
       ("ilp", Test_ilp.suite);
+      ("cuts-presolve", Test_cuts_presolve.suite);
       ("cdcl", Test_cdcl.suite);
       ("dimacs", Test_dimacs.suite);
       ("pb", Test_pb.suite);

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""CI gate for the paper-scale solver scoreboard.
+
+Usage: scoreboard_gate.py BASELINE.json NEW.json
+
+Compares the "scoreboard" sections of two BENCH_solver.json files
+(points matched by name).  The gate fails when:
+
+  - a point that was "opt" (or "INF" — also a proof) in the baseline no
+    longer reaches a proof in the new run, or
+  - a proven point's best-of-N wall time regresses by more than 25%
+    (plus a 0.25 s absolute slack, and only for baseline walls >= 0.5 s,
+    so sub-second noise on shared runners cannot trip the lane).
+
+Points present on only one side are reported but never fail the gate:
+the scoreboard is meant to grow, and a nightly full run carries points
+the PR-sized quick run does not.
+"""
+
+import json
+import sys
+
+PROOFS = {"opt", "INF"}
+REL_SLACK = 1.25
+ABS_SLACK_S = 0.25
+MIN_GATED_WALL_S = 0.5
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    sb = doc.get("scoreboard")
+    if not sb:
+        return {}
+    return {p["point"]: p for p in sb.get("points", [])}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip())
+    base = load(sys.argv[1])
+    new = load(sys.argv[2])
+    if not new:
+        sys.exit("scoreboard_gate: new run has no scoreboard section")
+    failures = []
+    for name, b in sorted(base.items()):
+        n = new.get(name)
+        if n is None:
+            print(f"note: {name!r} only in baseline (skipped)")
+            continue
+        bs, ns = b["status"], n["status"]
+        if bs in PROOFS and ns not in PROOFS:
+            failures.append(f"{name}: was {bs}, now {ns}")
+            continue
+        if bs in PROOFS and ns in PROOFS and b["wall_s"] >= MIN_GATED_WALL_S:
+            limit = b["wall_s"] * REL_SLACK + ABS_SLACK_S
+            if n["wall_s"] > limit:
+                failures.append(
+                    f"{name}: wall {b['wall_s']:.3f}s -> {n['wall_s']:.3f}s "
+                    f"(limit {limit:.3f}s)"
+                )
+        print(
+            f"ok: {name}: {bs}/{b['wall_s']:.3f}s -> {ns}/{n['wall_s']:.3f}s"
+        )
+    for name in sorted(set(new) - set(base)):
+        n = new[name]
+        print(f"new point: {name}: {n['status']}/{n['wall_s']:.3f}s")
+    if failures:
+        print("\nscoreboard regressions:")
+        for f in failures:
+            print(f"  {f}")
+        sys.exit(1)
+    print("scoreboard gate passed")
+
+
+if __name__ == "__main__":
+    main()
