@@ -156,6 +156,256 @@ let run ~title ~seed ~events ~jobs ~time_limit () =
       (List.length reports) (Harness.sec t_run)
 
 (* ------------------------------------------------------------------ *)
+(* Update storm: a churn stream driven entirely through the
+   per-packet-consistent wave scheduler (the engine's default write
+   path), with injected mid-wave operation faults, a determinism re-run,
+   and a journaled pass that keeps crashing at the wave kill points and
+   resuming from the last durable frontier.  Every barrier violation the
+   scheduler ever observes is machine-readably reported (and fails the
+   bench); so does a recovered run that diverges from the uncrashed
+   reference, a missing crash quota, or a non-reproducible signature
+   stream.  Results land in BENCH_update.json for the CI chaos lane. *)
+
+let update_storm ~title ~seed ~events ~time_limit () =
+  let family =
+    {
+      Workload.default with
+      Workload.num_policies = 4;
+      rules = 4;
+      paths = 12;
+      capacity = 40;
+      seed;
+    }
+  in
+  let inst = Workload.build family in
+  let options =
+    Placement.Solve.options
+      ~ilp_config:{ Ilp.Solver.default_config with time_limit }
+      ()
+  in
+  let report = Placement.Solve.run ~options inst in
+  match report.Placement.Solve.solution with
+  | None ->
+    Printf.printf "\n== %s ==\nbase instance unsolved (%s); skipped\n" title
+      (Harness.status_short report.Placement.Solve.status)
+  | Some initial ->
+    Printf.printf "\n== %s ==\n%d events, seed %d\n" title events seed;
+    let config =
+      {
+        Runtime.Engine.default_config with
+        Runtime.Engine.deadline_s = 10.0;
+        solve_options = options;
+      }
+    in
+    let fault () =
+      Runtime.Fault_plan.make ~fail_rate:0.15 ~timeout_rate:0.08 ~seed ()
+    in
+    let churn_seed = (seed * 13) + 5 in
+    let drive () =
+      let eng = Runtime.Engine.create ~config ~fault:(fault ()) initial in
+      let churn = Runtime.Churn.make ~rules:4 ~seed:churn_seed () in
+      (Runtime.Churn.drive churn eng events, eng)
+    in
+    let metrics_were_on = Telemetry.Metrics.is_enabled () in
+    if not metrics_were_on then Telemetry.Metrics.enable ();
+    let c_waves = Telemetry.Metrics.counter "sdnplace_update_waves_total" in
+    let c_rolls =
+      Telemetry.Metrics.counter "sdnplace_update_wave_rollbacks_total"
+    in
+    let waves0 = Telemetry.Metrics.counter_value c_waves in
+    let rolls0 = Telemetry.Metrics.counter_value c_rolls in
+    let violations0 = Runtime.Update.violations_total () in
+    (* reference + determinism re-run: same seeds, same signatures (the
+       signature pins the wave count, so equal streams mean equal wave
+       schedules too) *)
+    let (ref_reports, ref_eng), t_ref = Harness.wall drive in
+    let ref_sigs = List.map Runtime.Report.signature ref_reports in
+    let replay_sigs = List.map Runtime.Report.signature (fst (drive ())) in
+    let deterministic = ref_sigs = replay_sigs in
+    if not deterministic then
+      Printf.printf "update-storm: equal seeds DIVERGED on replay\n";
+    let count p = List.length (List.filter p ref_reports) in
+    let consistent_commits =
+      count (fun (r : Runtime.Report.t) -> r.Runtime.Report.waves > 0)
+    in
+    let fallbacks =
+      count (fun (r : Runtime.Report.t) ->
+          r.Runtime.Report.applied = Runtime.Report.Committed_fallback)
+    in
+    let total_waves =
+      List.fold_left
+        (fun acc (r : Runtime.Report.t) -> acc + r.Runtime.Report.waves)
+        0 ref_reports
+    in
+    (* crashing pass: journaled, killed at the wave kill points past the
+       first committed wave (so recovery must resume, not just roll
+       back), plus the occasional mid-apply kill *)
+    let store, mem = Journal.Store.memory () in
+    let wave_points =
+      [|
+        Journal.Journaled.After_wave_begin;
+        Journal.Journaled.Before_wave_commit;
+        Journal.Journaled.Mid_apply;
+      |]
+    in
+    let armed = ref None in
+    let crashes = ref 0 and wave_crashes = ref 0 and resumed = ref 0 in
+    let next_point = ref 0 in
+    let kill kp =
+      match !armed with
+      | Some (target, countdown) when kp = target ->
+        decr countdown;
+        if !countdown <= 0 then begin
+          armed := None;
+          incr crashes;
+          if kp <> Journal.Journaled.Mid_apply then incr wave_crashes;
+          raise
+            (Journal.Journaled.Killed (Journal.Journaled.kill_point_name kp))
+        end
+      | _ -> ()
+    in
+    let journal = { Journal.Journaled.snapshot_every = 8 } in
+    let j =
+      ref
+        (Journal.Journaled.create ~config ~journal ~fault:(fault ()) ~kill
+           ~store initial)
+    in
+    let churn = ref (Runtime.Churn.make ~rules:4 ~seed:churn_seed ()) in
+    let by_seq = Hashtbl.create events in
+    let steps = ref 0 in
+    let _, t_run =
+      Harness.wall (fun () ->
+          while Journal.Journaled.seq !j < events do
+            incr steps;
+            if !steps > events * 30 then begin
+              Printf.printf "update-storm: no progress after %d steps\n" !steps;
+              exit 1
+            end;
+            (* arm a crash roughly every fourth event, cycling through
+               the kill points; countdown 2 lands the wave kills past
+               wave 0, where a durable frontier already exists *)
+            if !armed = None && !steps mod 4 = 1 then begin
+              armed := Some (wave_points.(!next_point mod 3), ref 2);
+              incr next_point
+            end;
+            let ev = Runtime.Churn.next !churn (Journal.Journaled.engine !j) in
+            let client = Runtime.Churn.capture !churn in
+            match Journal.Journaled.handle ~client !j ev with
+            | r -> Hashtbl.replace by_seq (Journal.Journaled.seq !j) r
+            | exception Journal.Journaled.Killed point -> (
+              ignore mem;
+              match
+                Journal.Journaled.recover ~config ~journal ~kill ~store ()
+              with
+              | Error msg ->
+                Printf.printf
+                  "update-storm: recovery failed after %s crash: %s\n" point
+                  msg;
+                exit 1
+              | Ok rcv ->
+                if rcv.Journal.Journaled.divergences <> [] then begin
+                  List.iter
+                    (Printf.printf "  divergence: %s\n")
+                    rcv.Journal.Journaled.divergences;
+                  Printf.printf
+                    "update-storm: recovery diverged after %s crash\n" point;
+                  exit 1
+                end;
+                (match rcv.Journal.Journaled.resolution with
+                | Some (Journal.Journaled.Resumed _) -> incr resumed
+                | _ -> ());
+                List.iter
+                  (fun (s, r) -> Hashtbl.replace by_seq s r)
+                  rcv.Journal.Journaled.replayed;
+                j := rcv.Journal.Journaled.journaled;
+                churn :=
+                  (match rcv.Journal.Journaled.client with
+                  | Some blob -> Runtime.Churn.restore blob
+                  | None -> Runtime.Churn.make ~rules:4 ~seed:churn_seed ()))
+          done)
+    in
+    let mismatches = ref 0 in
+    List.iteri
+      (fun i want_sig ->
+        let got =
+          match Hashtbl.find_opt by_seq (i + 1) with
+          | Some r -> Runtime.Report.signature r
+          | None -> "<missing>"
+        in
+        if got <> want_sig then begin
+          incr mismatches;
+          Printf.printf "MISMATCH event %d:\n  reference %s\n  recovered %s\n"
+            (i + 1) want_sig got
+        end)
+      ref_sigs;
+    let tables_equal =
+      Runtime.Engine.table_snapshot (Journal.Journaled.engine !j)
+      = Runtime.Engine.table_snapshot ref_eng
+    in
+    let violations = Runtime.Update.violations_total () - violations0 in
+    let waves_counted = Telemetry.Metrics.counter_value c_waves - waves0 in
+    let rollbacks = Telemetry.Metrics.counter_value c_rolls - rolls0 in
+    if not metrics_were_on then Telemetry.Metrics.disable ();
+    Printf.printf
+      "transitions: %d (%d consistent commits, %d legacy fallbacks); %d \
+       waves committed (runs+replays), %d wave rollbacks\n"
+      (List.length ref_reports) consistent_commits fallbacks waves_counted
+      rollbacks;
+    Printf.printf
+      "crashes: %d (%d at wave kill points, %d resumed from a frontier)\n"
+      !crashes !wave_crashes !resumed;
+    let json =
+      Printf.sprintf
+        "{\n\
+        \  \"bench\": \"update_storm\",\n\
+        \  \"seed\": %d,\n\
+        \  \"events\": %d,\n\
+        \  \"consistent_commits\": %d,\n\
+        \  \"legacy_fallbacks\": %d,\n\
+        \  \"waves\": %d,\n\
+        \  \"wave_rollbacks\": %d,\n\
+        \  \"crashes\": %d,\n\
+        \  \"wave_crashes\": %d,\n\
+        \  \"resumed\": %d,\n\
+        \  \"violations\": %d,\n\
+        \  \"deterministic\": %b,\n\
+        \  \"recovered_identical\": %b\n\
+         }\n"
+        seed events consistent_commits fallbacks total_waves rollbacks
+        !crashes !wave_crashes !resumed violations deterministic
+        (!mismatches = 0 && tables_equal)
+    in
+    let oc = open_out "BENCH_update.json" in
+    output_string oc json;
+    close_out oc;
+    Printf.printf "wrote BENCH_update.json\n";
+    let failed = ref false in
+    if violations > 0 then begin
+      Printf.printf "update-storm: %d consistency VIOLATIONS observed\n"
+        violations;
+      failed := true
+    end;
+    if consistent_commits = 0 then begin
+      Printf.printf "update-storm: consistent path never exercised\n";
+      failed := true
+    end;
+    if !wave_crashes < 3 then begin
+      Printf.printf "update-storm: only %d wave kill-point crashes (< 3)\n"
+        !wave_crashes;
+      failed := true
+    end;
+    if !mismatches > 0 || not tables_equal then begin
+      Printf.printf "update-storm: recovered run DIVERGED from reference\n";
+      failed := true
+    end;
+    if not deterministic then failed := true;
+    if !failed then exit 1;
+    Printf.printf
+      "update-storm: %d transitions consistent, crash-resumable and \
+       replayable in %ss (reference %ss)\n"
+      events (Harness.sec t_run) (Harness.sec t_ref)
+
+(* ------------------------------------------------------------------ *)
 (* Crash-recovery soak: the same churn stream driven through the
    journaled engine, but a seeded schedule keeps pulling the plug — at
    every kill point of the write-ahead protocol, sometimes tearing the

@@ -9,7 +9,7 @@
                                       [--metrics FILE] [--trace FILE]
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
-                                              portfolio|chaos|crash|lp] *)
+                                              portfolio|chaos|update|crash|lp] *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -18,7 +18,8 @@ let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 let no_micro = smoke || Array.exists (( = ) "--no-micro") Sys.argv
 
 (* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
-   table2 exp5 s1 b1 ablations portfolio chaos crash); repeatable. *)
+   table2 exp5 s1 b1 ablations portfolio chaos update crash);
+   repeatable. *)
 let only =
   let rec collect i acc =
     if i >= Array.length Sys.argv then acc
@@ -180,6 +181,17 @@ let run_experiments () =
       ~seed
       ~events:(if smoke then 60 else 100)
       ~jobs ~time_limit ();
+
+  if wants "update" then
+    Exp_chaos.update_storm
+      ~title:
+        (Printf.sprintf
+           "Experiment C3: update storm (per-packet-consistent waves under \
+            mid-wave faults and kill-point crashes, seed %d)"
+           seed)
+      ~seed
+      ~events:(if smoke then 60 else 200)
+      ~time_limit ();
 
   if wants "crash" then
     Exp_chaos.crash_soak

@@ -497,6 +497,12 @@ let summarize_events ?(pre_failed = false) reports eng =
     (String.concat ","
        (List.map string_of_int (Runtime.Engine.quarantined eng)))
     (Runtime.Engine.live_entries eng);
+  Format.printf "update-waves=%d legacy-fallbacks=%d@."
+    (List.fold_left
+       (fun acc (r : Runtime.Report.t) -> acc + r.Runtime.Report.waves)
+       0 reports)
+    (count (fun (r : Runtime.Report.t) ->
+         r.Runtime.Report.applied = Runtime.Report.Committed_fallback));
   let unverified =
     count (fun (r : Runtime.Report.t) -> not r.Runtime.Report.verified)
   in
@@ -512,7 +518,7 @@ let summarize_events ?(pre_failed = false) reports eng =
 
 let events_run metrics trace file merge slice engine lp_engine features objective
     time_limit jobs strategy num_events seed fail_rate timeout_rate deadline
-    rules journal resume =
+    rules update_mode journal resume =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let options =
@@ -524,6 +530,7 @@ let events_run metrics trace file merge slice engine lp_engine features objectiv
       Runtime.Engine.default_config with
       Runtime.Engine.deadline_s = deadline;
       solve_options = options;
+      update_mode;
     }
   in
   let churn_seed = (seed * 31) + 7 in
@@ -548,7 +555,10 @@ let events_run metrics trace file merge slice engine lp_engine features objectiv
         | Some (Journal.Journaled.Rolled_back s) ->
           Printf.sprintf ", interrupted event %d rolled back and re-executed" s
         | Some (Journal.Journaled.Rolled_forward s) ->
-          Printf.sprintf ", interrupted event %d rolled forward" s);
+          Printf.sprintf ", interrupted event %d rolled forward" s
+        | Some (Journal.Journaled.Resumed { seq; wave }) ->
+          Printf.sprintf
+            ", interrupted event %d resumed from update wave %d" seq wave);
       if rcv.Journal.Journaled.dropped_bytes > 0 then
         Format.printf "truncated %d bytes of torn journal tail@."
           rcv.Journal.Journaled.dropped_bytes;
@@ -633,6 +643,36 @@ let events_cmd =
       value & opt int 6
       & info [ "rules" ] ~docv:"N" ~doc:"Rules per generated tenant policy.")
   in
+  let update_mode =
+    let consistent =
+      Arg.(
+        value & flag
+        & info [ "consistent-updates" ]
+            ~doc:
+              "Apply table deltas as per-packet-consistent wave updates \
+               (two-phase version tagging with per-wave barriers and \
+               journaled, crash-resumable wave frontiers).  This is the \
+               default; the flag exists to state it explicitly.")
+    in
+    let legacy =
+      Arg.(
+        value & flag
+        & info [ "legacy-updates" ]
+            ~doc:
+              "Apply table deltas as a single two-phase add-before-delete \
+               transaction without per-packet consistency (the pre-wave \
+               behaviour).  Mutually exclusive with \
+               $(b,--consistent-updates).")
+    in
+    Term.(
+      const (fun c l ->
+          if c && l then
+            Error "--consistent-updates and --legacy-updates are mutually exclusive"
+          else if l then Ok Runtime.Engine.Legacy
+          else Ok Runtime.Engine.Consistent)
+      $ consistent $ legacy)
+    |> Term.term_result'
+  in
   let instance =
     Arg.(
       value
@@ -681,7 +721,8 @@ let events_cmd =
       const events_run $ metrics_arg $ trace_arg $ instance $ merge_flag
       $ slice_flag $ engine_arg $ lp_engine_arg $ features_arg $ objective_arg
       $ time_limit_arg $ jobs_arg $ strategy_arg $ num_events $ seed
-      $ fail_rate $ timeout_rate $ deadline $ rules $ journal $ resume)
+      $ fail_rate $ timeout_rate $ deadline $ rules $ update_mode $ journal
+      $ resume)
 
 let main_cmd =
   Cmd.group

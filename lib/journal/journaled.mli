@@ -2,17 +2,21 @@
 
     A journaled engine writes a {!Wal} record stream around every event
     it absorbs — [Ev_begin] before the engine sees it, [Tx_intent] /
-    [Tx_commit] around the two-phase table update, [Ev_commit] once the
-    report is in hand — each fsynced before the next step runs, and
-    periodically compacts the log into a full-state snapshot
-    ({!Runtime.Engine.persisted} plus the journal's own counters).
+    [Tx_commit] around the data-plane write with a
+    [Wave_begin]/[Wave_commit] pair per consistent-update wave between
+    them, [Ev_commit] once the report is in hand — each fsynced before
+    the next step runs, and periodically compacts the log into a
+    full-state snapshot ({!Runtime.Engine.persisted} plus the journal's
+    own counters).
 
     {!recover} inverts that: load the latest valid snapshot, replay the
     log's longest valid prefix (a torn or corrupt tail is truncated, not
     fatal), and resolve the at-most-one event the crash interrupted —
     transactions whose commit record survived are rolled forward,
-    uncommitted ones are rolled back to their logged undo snapshot, and
-    either way the event is then re-executed.  Because every source of
+    uncommitted ones are rolled back to their logged undo snapshot and
+    re-executed, {e resuming} from the last durable wave frontier when
+    the interrupted write was a consistent update with committed
+    waves.  Because every source of
     engine randomness lives in the snapshot, the recovered engine's
     tables and report signatures are byte-identical to a run that never
     crashed — divergence from the logged signatures is reported, never
@@ -32,6 +36,12 @@ type kill_point =
   | Before_begin  (** before the [Ev_begin] record is written *)
   | After_begin  (** [Ev_begin] durable, engine has not run *)
   | Mid_apply  (** before a per-entry table operation (fires per op) *)
+  | After_wave_begin
+      (** a wave's [Wave_begin] durable, its operations not yet issued
+          (fires per wave) *)
+  | Before_wave_commit
+      (** a wave's barrier passed, its [Wave_commit] frontier not yet
+          durable (fires per wave) *)
   | Before_commit  (** event handled, [Ev_commit] not yet written *)
   | After_commit  (** [Ev_commit] durable, before any compaction *)
 
@@ -117,6 +127,12 @@ type resolution =
       (** its transaction had committed ([Tx_commit]) but the event
           record was lost: re-execution redid it, and the final tables
           were checked against the logged redo target *)
+  | Resumed of { seq : int; wave : int }
+      (** its consistent update had committed waves up to [wave]
+          ([Wave_commit] durable) when the crash hit: the event was
+          re-executed resuming from that frontier — committed waves were
+          not re-applied, and the frontier's consistency was re-proved
+          before the remaining waves ran *)
 
 type recovery = {
   journaled : t;  (** ready to absorb further events *)

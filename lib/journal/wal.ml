@@ -6,17 +6,27 @@ type record =
       redo : Netsim.entry list array;
     }
   | Tx_commit of { seq : int }
+  | Wave_begin of { seq : int; wave : int }
+  | Wave_commit of { seq : int; wave : int; frontier : Runtime.Update.frontier }
   | Ev_commit of { seq : int; signature : string }
 
 let seq_of = function
-  | Ev_begin { seq; _ } | Tx_intent { seq; _ } | Tx_commit { seq } | Ev_commit { seq; _ }
-    -> seq
+  | Ev_begin { seq; _ }
+  | Tx_intent { seq; _ }
+  | Tx_commit { seq }
+  | Wave_begin { seq; _ }
+  | Wave_commit { seq; _ }
+  | Ev_commit { seq; _ } ->
+    seq
 
 let describe = function
   | Ev_begin { seq; event; _ } ->
     Printf.sprintf "ev_begin[%d] %s" seq (Runtime.Event.describe event)
   | Tx_intent { seq; _ } -> Printf.sprintf "tx_intent[%d]" seq
   | Tx_commit { seq } -> Printf.sprintf "tx_commit[%d]" seq
+  | Wave_begin { seq; wave } -> Printf.sprintf "wave_begin[%d] wave=%d" seq wave
+  | Wave_commit { seq; wave; _ } ->
+    Printf.sprintf "wave_commit[%d] wave=%d" seq wave
   | Ev_commit { seq; signature } -> Printf.sprintf "ev_commit[%d] %s" seq signature
 
 (* Frame: [u32 len BE][u32 crc BE][payload].  A record a power cut tore

@@ -9,10 +9,13 @@
     everything after is discarded.
 
     The record sequence for one absorbed event [seq] is:
-    [Ev_begin] → ([Tx_intent] → [Tx_commit] if the event produced a
-    data-plane transaction) → [Ev_commit].  Which suffix of that
+    [Ev_begin] → ([Tx_intent] → interleaved [Wave_begin]/[Wave_commit]
+    pairs for a consistent wave update → [Tx_commit] if the event
+    produced a data-plane write) → [Ev_commit].  Which suffix of that
     sequence survives a crash tells recovery exactly how far the event
-    got (see {!Journaled}). *)
+    got (see {!Journaled}); the last [Wave_commit]'s frontier is what
+    lets a torn consistent update {e resume} instead of replaying from
+    scratch. *)
 
 type record =
   | Ev_begin of { seq : int; event : Runtime.Event.t; client : string option }
@@ -25,6 +28,13 @@ type record =
       redo : Netsim.entry list array;  (** target tables *)
     }  (** logged before the first table operation of the transaction *)
   | Tx_commit of { seq : int }  (** logged right after the transaction commits *)
+  | Wave_begin of { seq : int; wave : int }
+      (** logged before a consistent-update wave issues its first
+          operation *)
+  | Wave_commit of { seq : int; wave : int; frontier : Runtime.Update.frontier }
+      (** logged after the wave's barrier re-proved consistency; the
+          frontier carries everything resume needs (tables, fault-plan
+          state, api stats) *)
   | Ev_commit of { seq : int; signature : string }
       (** logged once the event is fully absorbed; [signature] is the
           report's {!Runtime.Report.signature}, recovery's cross-check

@@ -14,25 +14,55 @@ let table_size t k = List.length t.tables.(k)
 let total_entries t =
   Array.fold_left (fun acc tbl -> acc + List.length tbl) 0 t.tables
 
-let step t ~switch ~ingress packet =
-  let applies e = List.mem ingress e.tags && Acl.Rule.matches e.rule packet in
-  match List.find_opt applies t.tables.(switch) with
+(* Version-tag algebra for two-phase consistent updates: a shadow copy
+   of a new-placement entry is keyed on the ingress tag with the version
+   bit flipped on, and an ingress whose stamping has switched to the new
+   version is marked by a stamp entry keyed on the stamp bit.  Both bits
+   sit far above any real host id, so versioned and stamp tags can never
+   collide with a plain ingress tag — a packet walking with a plain tag
+   never matches a shadow or a stamp, and vice versa. *)
+
+let version_bit = 1 lsl 20
+
+let stamp_bit = 1 lsl 21
+
+let vtag i = i lor version_bit
+
+let stamp_tag i = i lor stamp_bit
+
+let is_version_tag i = i land version_bit <> 0
+
+let is_stamp_tag i = i land stamp_bit <> 0
+
+let base_tag i = i land lnot (version_bit lor stamp_bit)
+
+let step_tables tables ~switch ~tag packet =
+  let applies e = List.mem tag e.tags && Acl.Rule.matches e.rule packet in
+  match List.find_opt applies tables.(switch) with
   | Some e -> e.rule.Acl.Rule.action
   | None -> Acl.Rule.Permit
 
+let step t ~switch ~ingress packet =
+  step_tables t.tables ~switch ~tag:ingress packet
+
 type outcome = Delivered | Dropped of int
 
-let forward t (path : Routing.Path.t) packet =
+let forward_tables tables (path : Routing.Path.t) ~tag packet =
   let n = Array.length path.switches in
   let rec go i =
     if i >= n then Delivered
     else
       let switch = path.switches.(i) in
-      match step t ~switch ~ingress:path.ingress packet with
+      match step_tables tables ~switch ~tag packet with
       | Acl.Rule.Drop -> Dropped switch
       | Acl.Rule.Permit -> go (i + 1)
   in
   go 0
+
+let forward_tagged t path ~tag packet = forward_tables t.tables path ~tag packet
+
+let forward t (path : Routing.Path.t) packet =
+  forward_tables t.tables path ~tag:path.ingress packet
 
 let pp_outcome fmt = function
   | Delivered -> Format.pp_print_string fmt "delivered"

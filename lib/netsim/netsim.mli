@@ -29,13 +29,53 @@ val table_size : t -> int -> int
 
 val total_entries : t -> int
 
+(** {2 Version tags}
+
+    Two-phase consistent updates (see [Runtime.Update]) key the shadow
+    copy of a new-placement entry on {!vtag}[ ingress] and mark an
+    ingress whose stamping flipped to the new version with an entry
+    tagged {!stamp_tag}[ ingress].  Both bits live far above any real
+    host id: a packet walking with a plain ingress tag never matches a
+    shadow or a stamp, and a versioned walk never matches an
+    old-placement entry. *)
+
+val version_bit : int
+val stamp_bit : int
+
+val vtag : int -> int
+(** The new-version alias of an ingress tag. *)
+
+val stamp_tag : int -> int
+(** The tag a flip-marker (stamp) entry for an ingress carries. *)
+
+val is_version_tag : int -> bool
+val is_stamp_tag : int -> bool
+
+val base_tag : int -> int
+(** Strip the version/stamp bits back to the plain ingress id. *)
+
 val step : t -> switch:int -> ingress:int -> Ternary.Packet.t -> Acl.Rule.action
 (** First-match outcome of one switch for a packet tagged [ingress];
     [Permit] when nothing matches. *)
+
+val step_tables :
+  entry list array -> switch:int -> tag:int -> Ternary.Packet.t -> Acl.Rule.action
+(** {!step} over a bare table array, matching on an explicit (possibly
+    version-bit-carrying) tag — the walk primitive consistent-update
+    barrier checks use on live and reference tables alike. *)
 
 type outcome = Delivered | Dropped of int  (** switch where it died *)
 
 val forward : t -> Routing.Path.t -> Ternary.Packet.t -> outcome
 (** Walk the packet along the path's switches. *)
+
+val forward_tagged : t -> Routing.Path.t -> tag:int -> Ternary.Packet.t -> outcome
+(** {!forward}, but stamped with [tag] instead of the path's ingress —
+    how a packet that was ingress-stamped with the new version bit is
+    walked mid-update. *)
+
+val forward_tables :
+  entry list array -> Routing.Path.t -> tag:int -> Ternary.Packet.t -> outcome
+(** {!forward_tagged} over a bare table array. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit

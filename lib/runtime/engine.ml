@@ -1,5 +1,7 @@
 open Placement
 
+type update_mode = Consistent | Legacy
+
 type config = {
   deadline_s : float;
   solve_options : Solve.options;
@@ -7,6 +9,8 @@ type config = {
   switch_config : Switch_api.config;
   verify_samples : int;
   verify_seed : int;
+  update_mode : update_mode;
+  update_wave_retries : int;
 }
 
 let default_config =
@@ -17,6 +21,8 @@ let default_config =
     switch_config = Switch_api.default_config;
     verify_samples = 10;
     verify_seed = 0x5EED;
+    update_mode = Consistent;
+    update_wave_retries = 1;
   }
 
 let m_rung name =
@@ -93,7 +99,7 @@ let tables_of_solution (sol : Solution.t) =
   let n = Topo.Net.num_switches sol.Solution.instance.Instance.net in
   Array.init n (Netsim.table netsim)
 
-let create ?(config = default_config) ?(fault = Fault_plan.none)
+let create ?(config = default_config) ?(fault = Fault_plan.faultless ())
     ?(now = Unix.gettimeofday) good =
   let api =
     Switch_api.create ~config:config.switch_config ~fault
@@ -681,6 +687,41 @@ let verify t =
   with _ -> false
 
 (* ------------------------------------------------------------------ *)
+(* Consistent-update corpus                                            *)
+
+(* The probe corpus the wave barriers walk: for every ingress carrying a
+   policy before or after the event, its routed paths under the old and
+   new placements plus a deterministic packet sample (policy witnesses
+   of both sides and a few randoms from a PRNG derived fresh from the
+   verify seed — never the mutable verify stream, so a crash-resumed
+   event rebuilds the identical corpus). *)
+let update_corpus t (sol : Solution.t) =
+  let old_routing = (inst t).Instance.routing in
+  let new_inst = sol.Solution.instance in
+  let ingresses =
+    sort_uniq
+      (List.map fst (inst t).Instance.policies
+      @ List.map fst new_inst.Instance.policies)
+  in
+  let g = Prng.create (t.config.verify_seed lxor 0x757044) in
+  List.map
+    (fun i ->
+      let witnesses = function
+        | Some q -> take 8 (Acl.Policy.witness_packets q)
+        | None -> []
+      in
+      let olds = witnesses (Instance.policy_of (inst t) i) in
+      let news = witnesses (Instance.policy_of new_inst i) in
+      let randoms = List.init 4 (fun _ -> Ternary.Packet.random g) in
+      {
+        Update.ingress = i;
+        old_paths = Routing.Table.paths_from old_routing i;
+        new_paths = Routing.Table.paths_from new_inst.Instance.routing i;
+        probes = (zero_packet :: olds) @ news @ randoms;
+      })
+    ingresses
+
+(* ------------------------------------------------------------------ *)
 (* The event loop                                                      *)
 
 type tx_observer = {
@@ -688,9 +729,11 @@ type tx_observer = {
     undo:Netsim.entry list array -> redo:Netsim.entry list array -> unit;
   on_op : switch:int -> op:string -> unit;
   on_commit : unit -> unit;
+  on_wave_begin : wave:int -> unit;
+  on_wave_commit : wave:int -> frontier:Update.frontier -> unit;
 }
 
-let handle ?tx t event =
+let handle ?tx ?resume t event =
   Telemetry.Trace.with_span "runtime.event" @@ fun () ->
   (match Telemetry.Trace.current () with
   | Some sp -> Telemetry.Trace.add_attr sp "event" (Event.describe event)
@@ -702,7 +745,7 @@ let handle ?tx t event =
   and o0 = s.Switch_api.timeouts
   and r0 = s.Switch_api.retries
   and x0 = s.Switch_api.forced_resyncs in
-  let finish ~rung ~status ~applied ~newq ~verified =
+  let finish ~rung ~status ~applied ~newq ~verified ~waves =
     let s = Switch_api.stats t.api in
     let newly_quarantined = sort_uniq newq in
     let wall_s = t.now () -. t0 in
@@ -727,13 +770,14 @@ let handle ?tx t event =
       timeouts = s.Switch_api.timeouts - o0;
       retries = s.Switch_api.retries - r0;
       forced_resyncs = s.Switch_api.forced_resyncs - x0;
+      waves;
       wall_s;
     }
   in
   match Telemetry.Trace.with_span "runtime.plan" (fun () -> plan t event) with
   | Error reason ->
     finish ~rung:Report.Noop ~status:("rejected: " ^ reason)
-      ~applied:Report.Kept_last_good ~newq:[] ~verified:(verify t)
+      ~applied:Report.Kept_last_good ~newq:[] ~verified:(verify t) ~waves:0
   | Ok goal -> (
     match
       Telemetry.Trace.with_span "runtime.ladder" (fun () ->
@@ -743,7 +787,7 @@ let handle ?tx t event =
       (* Every solve rung failed: fail closed. *)
       let newq = quarantine_now t goal in
       finish ~rung:Report.Quarantine ~status:"exhausted"
-        ~applied:Report.Kept_last_good ~newq ~verified:(verify t)
+        ~applied:Report.Kept_last_good ~newq ~verified:(verify t) ~waves:0
     | Some (rung, status, sol) ->
       let placed = List.map fst goal.sub_policies in
       let keep_q =
@@ -771,24 +815,77 @@ let handle ?tx t event =
       let observe =
         Option.map (fun o ~switch ~op -> o.on_op ~switch ~op) tx
       in
-      match
-        Telemetry.Trace.with_span "runtime.tx" (fun () ->
-            Transaction.apply ?observe ~api:t.api target)
-      with
-      | Transaction.Committed ->
+      let commit_good () =
         (match tx with Some o -> o.on_commit () | None -> ());
         t.good <- sol;
-        t.quarantine <- q';
-        finish ~rung ~status ~applied:Report.Committed
-          ~newq:(List.map (fun q -> q.q_ingress) (List.filter (fun q -> List.mem q.q_ingress fresh) q'))
-          ~verified:(verify t)
-      | Transaction.Rolled_back { switch; op } ->
-        (* Tables are byte-identical to the pre-event state; fail closed
-           on everything the event touched. *)
-        Telemetry.Metrics.incr m_rollbacks;
-        let newq = quarantine_now t goal in
-        finish ~rung ~status
-          ~applied:(Report.Rolled_back (Printf.sprintf "%s@%d" op switch))
-          ~newq ~verified:(verify t))
+        t.quarantine <- q'
+      in
+      let newq_committed () =
+        List.map
+          (fun q -> q.q_ingress)
+          (List.filter (fun q -> List.mem q.q_ingress fresh) q')
+      in
+      let legacy ~fallback =
+        match
+          Telemetry.Trace.with_span "runtime.tx" (fun () ->
+              Transaction.apply ?observe ~api:t.api target)
+        with
+        | Transaction.Committed ->
+          commit_good ();
+          finish ~rung ~status
+            ~applied:
+              (if fallback then Report.Committed_fallback else Report.Committed)
+            ~newq:(newq_committed ()) ~verified:(verify t) ~waves:0
+        | Transaction.Rolled_back { switch; op } ->
+          (* Tables are byte-identical to the pre-event state; fail closed
+             on everything the event touched. *)
+          Telemetry.Metrics.incr m_rollbacks;
+          let newq = quarantine_now t goal in
+          finish ~rung ~status
+            ~applied:(Report.Rolled_back (Printf.sprintf "%s@%d" op switch))
+            ~newq ~verified:(verify t) ~waves:0
+      in
+      match t.config.update_mode with
+      | Legacy -> legacy ~fallback:false
+      | Consistent -> (
+        (* Preferred rung of the write ladder: the per-packet-consistent
+           wave schedule.  A planner failure or an aborted execution
+           leaves the pre-event tables in place and degrades explicitly
+           to the legacy single-transaction path. *)
+        let planned =
+          try
+            Some
+              (Update.build
+                 ~attach:(Topo.Net.host_attach (net t))
+                 ~corpus:(update_corpus t sol)
+                 ~old_tables:(Switch_api.tables t.api) ~target)
+          with _ -> None
+        in
+        match planned with
+        | None -> legacy ~fallback:true
+        | Some uplan -> (
+          let observer =
+            Option.map
+              (fun o ->
+                {
+                  Update.on_wave_begin = (fun ~wave -> o.on_wave_begin ~wave);
+                  on_wave_commit =
+                    (fun ~wave ~frontier -> o.on_wave_commit ~wave ~frontier);
+                })
+              tx
+          in
+          let result =
+            Telemetry.Trace.with_span "runtime.update" (fun () ->
+                Update.execute ~wave_retries:t.config.update_wave_retries
+                  ?observer ?on_op:observe ?resume ~api:t.api ~fault:t.fault
+                  uplan)
+          in
+          match result.Update.outcome with
+          | Update.Committed ->
+            commit_good ();
+            finish ~rung ~status ~applied:Report.Committed
+              ~newq:(newq_committed ()) ~verified:(verify t)
+              ~waves:result.Update.waves_committed
+          | Update.Aborted _ -> legacy ~fallback:true)))
 
 let run ?tx t events = List.map (handle ?tx t) events

@@ -19,10 +19,13 @@
       entry at their attachment switch, and the event is recorded as
       degraded.
 
-    Whichever rung produces a placement, the table delta is applied as a
-    two-phase add-before-delete {!Transaction}; an unrecoverable switch
-    failure rolls the tables back to the pre-event state and drops to
-    the quarantine rung.  After {e every} event the active placement is
+    Whichever rung produces a placement, the table delta is applied by
+    the {e write ladder}: the per-packet-consistent wave scheduler
+    ({!Update}) by default, degrading to the legacy two-phase
+    add-before-delete {!Transaction} (reported as
+    {!Report.Committed_fallback}) when the wave update aborts; an
+    unrecoverable legacy transaction rolls the tables back to the
+    pre-event state and drops to the quarantine rung.  After {e every} event the active placement is
     re-verified ({!Placement.Verify} structural + semantic, a packet
     walk of the {e live} tables against every policy, and a fail-closed
     check that quarantined ingresses' packets are dropped); the result
@@ -32,6 +35,12 @@
     path choice, verification probes) flows from seeds fixed at
     {!create}, so equal seeds and equal event streams give equal report
     {!Report.signature} sequences. *)
+
+type update_mode =
+  | Consistent
+      (** wave-scheduled per-packet-consistent updates ({!Update}),
+          falling back to the legacy transaction on abort (default) *)
+  | Legacy  (** single two-phase {!Transaction} only *)
 
 type config = {
   deadline_s : float;  (** per-event wall-clock budget (default 30) *)
@@ -44,6 +53,10 @@ type config = {
   switch_config : Switch_api.config;  (** retry/backoff policy *)
   verify_samples : int;  (** random probe packets per path (default 10) *)
   verify_seed : int;  (** seed for verification + re-routing draws *)
+  update_mode : update_mode;
+  update_wave_retries : int;
+      (** wave-level rollback/retry budget before a consistent update
+          aborts to the legacy path (default 1) *)
 }
 
 val default_config : config
@@ -115,15 +128,26 @@ type tx_observer = {
   on_commit : unit -> unit;
       (** called right after the transaction committed, before the
           engine adopts the new solution *)
+  on_wave_begin : wave:int -> unit;
+      (** called as a consistent-update wave starts issuing operations *)
+  on_wave_commit : wave:int -> frontier:Update.frontier -> unit;
+      (** called after the wave's barrier re-proved consistency, with
+          the frontier the journal persists for crash-resume *)
 }
-(** Write-ahead hooks around the two-phase table update — what the
-    crash-safe journal uses to log transaction intent/commit records and
-    to place mid-apply kill points.  Exceptions raised by the hooks
-    propagate out of {!handle} (a simulated crash). *)
+(** Write-ahead hooks around the data-plane write — what the crash-safe
+    journal uses to log transaction intent/commit and wave-boundary
+    records and to place mid-apply kill points.  Exceptions raised by
+    the hooks propagate out of {!handle} (a simulated crash). *)
 
-val handle : ?tx:tx_observer -> t -> Event.t -> Report.t
+val handle : ?tx:tx_observer -> ?resume:Update.frontier -> t -> Event.t -> Report.t
 (** Absorb one event.  Never raises on malformed events (they are
-    rejected in the report); never leaves the tables torn. *)
+    rejected in the report); never leaves the tables torn.
+
+    [resume] continues a consistent update that a crash interrupted: the
+    event is re-planned from the same pre-event engine state, and the
+    update's execution restores the frontier (tables, fault-plan state,
+    api stats), re-proves its consistency and carries on from the next
+    wave — converging byte-identically to an uncrashed run. *)
 
 val run : ?tx:tx_observer -> t -> Event.t list -> Report.t list
 (** [handle] in sequence, reports in event order. *)

@@ -8,8 +8,13 @@ type t = {
   mutable dead : int list;
 }
 
-let none =
+let faultless () =
   { prng = None; fail_rate = 0.0; timeout_rate = 0.0; forced_fails = 0; dead = [] }
+
+(* [none] is shared across the whole process, so it must stay pristine:
+   a caller that needs a faultless plan it can mutate (mark switches
+   dead, force fails) owns a [faultless ()] instead. *)
+let none = faultless ()
 
 let make ?(fail_rate = 0.0) ?(timeout_rate = 0.0) ~seed () =
   if fail_rate < 0.0 || timeout_rate < 0.0 || fail_rate +. timeout_rate > 1.0
@@ -22,9 +27,13 @@ let make ?(fail_rate = 0.0) ?(timeout_rate = 0.0) ~seed () =
     dead = [];
   }
 
-let fail_next t n = t.forced_fails <- t.forced_fails + n
+let fail_next t n =
+  if t == none then invalid_arg "Fault_plan.none is immutable";
+  t.forced_fails <- t.forced_fails + n
 
-let mark_dead t k = if not (List.mem k t.dead) then t.dead <- k :: t.dead
+let mark_dead t k =
+  if t == none then invalid_arg "Fault_plan.none is immutable";
+  if not (List.mem k t.dead) then t.dead <- k :: t.dead
 
 let is_dead t k = List.mem k t.dead
 
@@ -45,3 +54,26 @@ let draw t ~switch =
 
 let jitter t =
   match t.prng with None -> 1.0 | Some g -> 0.5 +. Prng.float g 1.0
+
+type state = {
+  s_prng : Prng.t option;
+  s_forced_fails : int;
+  s_dead : int list;
+}
+
+let capture t =
+  {
+    s_prng = Option.map Prng.copy t.prng;
+    s_forced_fails = t.forced_fails;
+    s_dead = t.dead;
+  }
+
+let restore t s =
+  if t == none then () (* its own captured state, nothing to rewind *)
+  else begin
+    (match (t.prng, s.s_prng) with
+    | Some g, Some saved -> Prng.assign g saved
+    | _ -> ());
+    t.forced_fails <- s.s_forced_fails;
+    t.dead <- s.s_dead
+  end

@@ -16,7 +16,15 @@ type outcome = Ok | Fail | Timeout
 type t
 
 val none : t
-(** No injected faults, nothing ever dead: every operation succeeds. *)
+(** No injected faults, nothing ever dead: every operation succeeds.
+    Shared and immutable — {!mark_dead} and {!fail_next} raise
+    [Invalid_argument] on it (a mutation would silently poison every
+    later user of the shared value). *)
+
+val faultless : unit -> t
+(** A fresh plan with no probabilistic faults: like {!none}, but owned
+    by the caller, so it can accumulate dead switches and forced fails.
+    What {!Engine.create} defaults to when no fault plan is given. *)
 
 val make : ?fail_rate:float -> ?timeout_rate:float -> seed:int -> unit -> t
 (** [fail_rate] (default 0.0) and [timeout_rate] (default 0.0) are
@@ -39,3 +47,16 @@ val draw : t -> switch:int -> outcome
 val jitter : t -> float
 (** Uniform in \[0.5, 1.5), from the same seeded stream — the backoff
     jitter factor, kept here so retry schedules replay with the plan. *)
+
+type state
+(** A point-in-time copy of the plan's mutable state (PRNG position,
+    pending forced fails, dead set).  Plain data, safe to [Marshal] —
+    consistent-update wave frontiers persist one per committed wave so a
+    crash-recovered run can resume mid-update with the exact remaining
+    fault sequence. *)
+
+val capture : t -> state
+
+val restore : t -> state -> unit
+(** Rewind the plan to a captured state; subsequent draws replay the
+    stream from that point. *)

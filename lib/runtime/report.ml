@@ -7,10 +7,15 @@ let rung_name = function
   | Greedy -> "greedy"
   | Quarantine -> "quarantine"
 
-type applied = Committed | Rolled_back of string | Kept_last_good
+type applied =
+  | Committed
+  | Committed_fallback
+  | Rolled_back of string
+  | Kept_last_good
 
 let applied_name = function
   | Committed -> "committed"
+  | Committed_fallback -> "committed-legacy-fallback"
   | Rolled_back op -> "rolled-back:" ^ op
   | Kept_last_good -> "kept-last-good"
 
@@ -28,17 +33,18 @@ type t = {
   timeouts : int;
   retries : int;
   forced_resyncs : int;
+  waves : int;
   wall_s : float;
 }
 
 let signature r =
   Printf.sprintf
     "%s | rung=%s status=%s applied=%s newq=[%s] q=[%s] verified=%b \
-     entries=%d ops=%d/%d/%d/%d resync=%d"
+     entries=%d ops=%d/%d/%d/%d resync=%d waves=%d"
     r.event (rung_name r.rung) r.solve_status (applied_name r.applied)
     (String.concat "," (List.map string_of_int r.newly_quarantined))
     (String.concat "," (List.map string_of_int r.quarantined))
     r.verified r.entries r.attempts r.failures r.timeouts r.retries
-    r.forced_resyncs
+    r.forced_resyncs r.waves
 
 let pp fmt r = Format.fprintf fmt "%s (%.3fs)" (signature r) r.wall_s

@@ -22,7 +22,11 @@ type rung =
 val rung_name : rung -> string
 
 type applied =
-  | Committed  (** transaction committed *)
+  | Committed  (** consistent update (or transaction) committed *)
+  | Committed_fallback
+      (** the consistent wave update aborted and the legacy
+          single-transaction path committed instead — correct outcome,
+          degraded consistency guarantee *)
   | Rolled_back of string  (** unrecoverable install/delete; which op *)
   | Kept_last_good  (** no transaction attempted (quarantine / noop) *)
 
@@ -42,6 +46,9 @@ type t = {
   timeouts : int;  (** injected timeouts observed *)
   retries : int;
   forced_resyncs : int;
+  waves : int;
+      (** consistent-update waves committed for this event (0 in legacy
+          mode or when no update ran) *)
   wall_s : float;  (** event handling time — excluded from {!signature} *)
 }
 

@@ -54,11 +54,24 @@ let m_forced =
   Telemetry.Metrics.counter ~help:"forced full-table resyncs"
     "sdnplace_switch_forced_resyncs_total"
 
+let backoff_buckets = [| 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
+
 let m_op_backoff_s =
   Telemetry.Metrics.histogram
     ~help:"simulated per-operation backoff (only ops that backed off)"
-    ~buckets:[| 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
-    "sdnplace_switch_op_backoff_seconds"
+    ~buckets:backoff_buckets "sdnplace_switch_op_backoff_seconds"
+
+(* Compensation (rollback) operations get their own backoff series.
+   Before this split, a wave or transaction that rolled back contributed
+   each aborted operation's backoff to [sdnplace_switch_op_backoff_seconds]
+   twice — once forward, once while compensating — so the aggregate
+   [global_stats ()].backoff_s (the histogram sum) double-counted the
+   aborted work.  Forward ops observe into [m_op_backoff_s], rollback
+   compensation into this one. *)
+let m_rollback_backoff_s =
+  Telemetry.Metrics.histogram
+    ~help:"simulated backoff of rollback-compensation ops"
+    ~buckets:backoff_buckets "sdnplace_switch_rollback_backoff_seconds"
 
 let global_stats () =
   {
@@ -78,6 +91,7 @@ type t = {
   fault : Fault_plan.t;
   config : config;
   stats : stats;
+  mutable compensation : bool;
 }
 
 let create ?(config = default_config) ~fault live =
@@ -85,6 +99,7 @@ let create ?(config = default_config) ~fault live =
     live;
     fault;
     config;
+    compensation = false;
     stats =
       {
         attempts = 0;
@@ -104,6 +119,25 @@ let tables t = t.live
 let snapshot t = Array.copy t.live
 
 let stats t = t.stats
+
+let copy_stats (s : stats) = { s with attempts = s.attempts }
+
+let restore_stats t (s : stats) =
+  let d = t.stats in
+  d.attempts <- s.attempts;
+  d.failures <- s.failures;
+  d.timeouts <- s.timeouts;
+  d.retries <- s.retries;
+  d.gave_up <- s.gave_up;
+  d.forced_resyncs <- s.forced_resyncs;
+  d.backoff_s <- s.backoff_s;
+  d.last_op_backoff_s <- s.last_op_backoff_s;
+  d.max_op_backoff_s <- s.max_op_backoff_s
+
+let compensating t f =
+  let saved = t.compensation in
+  t.compensation <- true;
+  Fun.protect ~finally:(fun () -> t.compensation <- saved) f
 
 (* One operation = up to [1 + max_retries] attempts under exponential
    backoff with jitter.  Delays are accounted, not slept: the runtime
@@ -147,7 +181,10 @@ let attempt t ~switch apply =
   t.stats.last_op_backoff_s <- !acc;
   if !acc > t.stats.max_op_backoff_s then t.stats.max_op_backoff_s <- !acc;
   t.stats.backoff_s <- t.stats.backoff_s +. !acc;
-  if !acc > 0.0 then Telemetry.Metrics.observe m_op_backoff_s !acc;
+  if !acc > 0.0 then
+    Telemetry.Metrics.observe
+      (if t.compensation then m_rollback_backoff_s else m_op_backoff_s)
+      !acc;
   ok
 
 let install t ~switch entry =

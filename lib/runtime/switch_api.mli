@@ -57,12 +57,30 @@ val snapshot : t -> Netsim.entry list array
 val stats : t -> stats
 (** This api instance's own tallies (the journal-persisted view). *)
 
+val copy_stats : stats -> stats
+(** A detached snapshot of a stats record (wave frontiers persist one so
+    a resumed update continues with the exact pre-crash tallies). *)
+
+val restore_stats : t -> stats -> unit
+(** Overwrite this instance's tallies with a previously captured copy. *)
+
 val global_stats : unit -> stats
 (** Process-wide aggregate across every api instance, read back from the
     telemetry registry (zeros while telemetry is disabled).  The
     [last_op_backoff_s] / [max_op_backoff_s] fields are per-instance
     notions and read 0 in this view; the backoff distribution lives in
-    the [sdnplace_switch_op_backoff_seconds] histogram. *)
+    the [sdnplace_switch_op_backoff_seconds] histogram.  [backoff_s]
+    (that histogram's sum) counts {e forward} operations only —
+    rollback-compensation backoff is accounted separately in
+    [sdnplace_switch_rollback_backoff_seconds], so an aborted wave or
+    transaction does not double-count its ops' backoff here. *)
+
+val compensating : t -> (unit -> 'a) -> 'a
+(** Run [f] with this instance in compensation mode: operations still
+    draw faults, retry, and tally into {!stats} exactly as usual, but
+    their backoff is observed into the rollback histogram instead of
+    [sdnplace_switch_op_backoff_seconds].  Wave and transaction rollback
+    wrap their compensating installs/deletes in this. *)
 
 val install : t -> switch:int -> Netsim.entry -> bool
 (** Append the entry to the switch's table (retrying on faults); [false]

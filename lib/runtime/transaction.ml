@@ -48,15 +48,17 @@ let apply ?observe ~api (target : Netsim.entry list array) =
   in
   let installed = ref [] and deleted = ref [] in
   let rollback () =
-    (* Compensate through the same faulty API — then force-resync any
-       switch still off its snapshot, so rollback itself cannot leave
-       the data plane torn. *)
-    List.iter
-      (fun (k, e) -> ignore (Switch_api.delete api ~switch:k e))
-      !installed;
-    List.iter
-      (fun (k, e) -> ignore (Switch_api.install api ~switch:k e))
-      !deleted;
+    (* Compensate through the same faulty API (in compensation mode, so
+       the aborted ops' backoff is not double-counted in the forward
+       histogram) — then force-resync any switch still off its snapshot,
+       so rollback itself cannot leave the data plane torn. *)
+    Switch_api.compensating api (fun () ->
+        List.iter
+          (fun (k, e) -> ignore (Switch_api.delete api ~switch:k e))
+          !installed;
+        List.iter
+          (fun (k, e) -> ignore (Switch_api.install api ~switch:k e))
+          !deleted);
     List.iter
       (fun (k, table) ->
         if live.(k) <> table then Switch_api.force_set api ~switch:k table)

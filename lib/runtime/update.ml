@@ -1,0 +1,555 @@
+(* Per-packet-consistent update scheduling: two-phase tag-and-match
+   waves with bounded retry, wave-level rollback and crash-resumable
+   frontiers.  See update.mli for the full protocol description. *)
+
+type ingress_paths = {
+  ingress : int;
+  old_paths : Routing.Path.t list;
+  new_paths : Routing.Path.t list;
+  probes : Ternary.Packet.t list;
+}
+
+type op =
+  | Install of { switch : int; entry : Netsim.entry }
+  | Delete of { switch : int; entry : Netsim.entry }
+
+type wave = {
+  label : string;
+  ops : op list;
+  reorders : (int * Netsim.entry list) list;
+}
+
+type plan = {
+  waves : wave array;
+  flip_wave : int;
+  unflip_wave : int;
+  affected : int list;
+  corpus : ingress_paths list;
+  old_tables : Netsim.entry list array;
+  target : Netsim.entry list array;
+  shadow_headroom : int array;
+  base_occupancy : int array;
+  peak_occupancy : int array;
+}
+
+type frontier = {
+  f_wave : int;
+  f_tables : Netsim.entry list array;
+  f_fault : Fault_plan.state;
+  f_stats : Switch_api.stats;
+}
+
+type observer = {
+  on_wave_begin : wave:int -> unit;
+  on_wave_commit : wave:int -> frontier:frontier -> unit;
+}
+
+type outcome = Committed | Aborted of { switch : int; op : string }
+
+type result = {
+  outcome : outcome;
+  waves_committed : int;
+  wave_rollbacks : int;
+  violations : int;
+}
+
+let m_waves =
+  Telemetry.Metrics.counter ~help:"consistent-update waves committed"
+    "sdnplace_update_waves_total"
+
+let m_wave_rollbacks =
+  Telemetry.Metrics.counter
+    ~help:"waves rolled back to their frontier after an operation failure"
+    "sdnplace_update_wave_rollbacks_total"
+
+let m_wave_s =
+  Telemetry.Metrics.histogram ~help:"wall-clock latency of one update wave"
+    ~buckets:[| 0.0001; 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 |]
+    "sdnplace_update_wave_seconds"
+
+(* Process-wide violation tally, deliberately independent of the
+   telemetry registry: chaos benches report it machine-readably even
+   when telemetry is off, and a consistency violation must never be
+   maskable by a monitoring switch. *)
+let violations_seen = ref 0
+
+let violations_total () = !violations_seen
+
+(* Multiset difference [a \ b] preserving the order of [a] (the same
+   notion Transaction uses for its add/delete sets). *)
+let mdiff a b =
+  List.fold_left
+    (fun (kept, rest) e ->
+      let rec drop = function
+        | [] -> None
+        | x :: xs when x = e -> Some xs
+        | x :: xs -> Option.map (fun r -> x :: r) (drop xs)
+      in
+      match drop rest with
+      | Some rest' -> (kept, rest')
+      | None -> (e :: kept, rest))
+    ([], b) a
+  |> fun (kept, _) -> List.rev kept
+
+let same_contents a b = mdiff a b = [] && mdiff b a = []
+
+let remove_first entry table =
+  let rec go = function
+    | [] -> None
+    | e :: rest when e = entry -> Some rest
+    | e :: rest -> Option.map (fun r -> e :: r) (go rest)
+  in
+  go table
+
+module IS = Set.Make (Int)
+
+let build ~attach ~corpus ~old_tables ~target =
+  let n = Array.length old_tables in
+  if Array.length target <> n then
+    invalid_arg "Update.build: switch count mismatch";
+  (* Detach the snapshots from the live array: the plan must keep the
+     pre-update view even while execution mutates the data plane. *)
+  let old_tables = Array.copy old_tables in
+  let target = Array.copy target in
+  let proj i table =
+    List.filter (fun (e : Netsim.entry) -> List.mem i e.Netsim.tags) table
+  in
+  let tags_of tables =
+    Array.fold_left
+      (fun acc tbl ->
+        List.fold_left
+          (fun acc (e : Netsim.entry) ->
+            List.fold_left (fun acc t -> IS.add t acc) acc e.Netsim.tags)
+          acc tbl)
+      IS.empty tables
+  in
+  let universe =
+    IS.filter
+      (fun i -> not (Netsim.is_version_tag i || Netsim.is_stamp_tag i))
+      (IS.union (tags_of old_tables) (tags_of target))
+  in
+  (* Affected ingresses: any whose per-switch projection changes, plus
+     any whose routed paths change.  Everything in the add/delete
+     multisets carries only affected tags — a count change in any
+     entry's tag is a projection change for that tag — so unaffected
+     ingresses' match sequences are untouched by every wave below. *)
+  let affected_tables =
+    IS.filter
+      (fun i ->
+        let differs = ref false in
+        for k = 0 to n - 1 do
+          if (not !differs) && proj i old_tables.(k) <> proj i target.(k) then
+            differs := true
+        done;
+        !differs)
+      universe
+  in
+  let affected_set =
+    List.fold_left
+      (fun acc ip ->
+        if ip.old_paths <> ip.new_paths then IS.add ip.ingress acc else acc)
+      affected_tables corpus
+  in
+  let affected = IS.elements affected_set in
+  let is_affected i = IS.mem i affected_set in
+  (* Shadow installs go only to switches on the *new* paths of affected
+     ingresses (new paths never traverse dead switches, so a consistent
+     update never wastes retries on guaranteed-failing installs).  The
+     depth of a switch is its deepest position across those paths;
+     shadows are installed deepest-first so each wave only ever extends
+     coverage downstream of what is already in place. *)
+  let depth = Hashtbl.create 16 in
+  List.iter
+    (fun ip ->
+      if is_affected ip.ingress then
+        List.iter
+          (fun (p : Routing.Path.t) ->
+            Array.iteri
+              (fun pos k ->
+                let d = pos + 1 in
+                match Hashtbl.find_opt depth k with
+                | Some d' when d' >= d -> ()
+                | _ -> Hashtbl.replace depth k d)
+              p.Routing.Path.switches)
+          ip.new_paths)
+    corpus;
+  let shadow_switches =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) depth [])
+  in
+  (* The shadow copy of a new-placement entry keeps the target's match
+     order and is keyed on the version-tagged aliases of its affected
+     tags: a flipped packet walking with [vtag i] sees exactly the
+     target's projection for [i], and nothing else ever matches it. *)
+  let shadow_at k =
+    List.filter_map
+      (fun (e : Netsim.entry) ->
+        let atags = List.filter is_affected e.Netsim.tags in
+        if atags = [] then None
+        else Some { Netsim.tags = List.map Netsim.vtag atags; rule = e.rule })
+      target.(k)
+  in
+  let depths =
+    List.sort_uniq
+      (fun a b -> compare b a)
+      (List.map (fun k -> Hashtbl.find depth k) shadow_switches)
+  in
+  let shadow_waves =
+    List.filter_map
+      (fun d ->
+        let ops =
+          List.concat_map
+            (fun k ->
+              if Hashtbl.find depth k = d then
+                List.map (fun e -> Install { switch = k; entry = e }) (shadow_at k)
+              else [])
+            shadow_switches
+        in
+        if ops = [] then None
+        else
+          Some { label = Printf.sprintf "shadow-depth-%d" d; ops; reorders = [] })
+      depths
+  in
+  (* Flipping an ingress is marked in the data plane by a stamp entry at
+     its attachment point (first switch of a new path when it has one —
+     new paths avoid dead switches — the attachment switch otherwise).
+     Every affected ingress flips, including ones losing their paths
+     entirely: their old entries are about to be GC'd, so leaving them
+     on old stamping would change what their packets see mid-update. *)
+  let stamp_entry i =
+    {
+      Netsim.tags = [ Netsim.stamp_tag i ];
+      rule =
+        Acl.Rule.make ~field:Ternary.Field.any ~action:Acl.Rule.Permit
+          ~priority:0;
+    }
+  in
+  let stamp_switch i =
+    match List.find_opt (fun ip -> ip.ingress = i) corpus with
+    | Some { new_paths = p :: _; _ } when Array.length p.Routing.Path.switches > 0
+      ->
+      p.Routing.Path.switches.(0)
+    | _ -> attach i
+  in
+  let flip_ops =
+    List.map
+      (fun i -> Install { switch = stamp_switch i; entry = stamp_entry i })
+      affected
+  in
+  let gc_old_ops =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun e -> Delete { switch = k; entry = e })
+          (mdiff old_tables.(k) target.(k)))
+      (List.init n Fun.id)
+  in
+  let install_new_ops =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun e -> Install { switch = k; entry = e })
+          (mdiff target.(k) old_tables.(k)))
+      (List.init n Fun.id)
+  in
+  (* Plan-time simulation: replay every operation over a copy of the old
+     tables to (a) derive the renormalisation rewrites, (b) track the
+     per-switch transient peak, and (c) prove the final state is exactly
+     the target before a single live operation is issued. *)
+  let sim = Array.map Fun.id old_tables in
+  let peak = Array.map List.length old_tables in
+  let base =
+    Array.init n (fun k ->
+        max (List.length old_tables.(k)) (List.length target.(k)))
+  in
+  let note k =
+    let len = List.length sim.(k) in
+    if len > peak.(k) then peak.(k) <- len
+  in
+  let sim_op = function
+    | Install { switch; entry } ->
+      sim.(switch) <- sim.(switch) @ [ entry ];
+      note switch
+    | Delete { switch; entry } -> (
+      match remove_first entry sim.(switch) with
+      | Some t -> sim.(switch) <- t
+      | None -> ())
+  in
+  List.iter sim_op (List.concat_map (fun w -> w.ops) shadow_waves);
+  List.iter sim_op flip_ops;
+  List.iter sim_op gc_old_ops;
+  List.iter sim_op install_new_ops;
+  (* Renormalisation: once the new plain entries are in, rewrite each
+     touched switch to target-order plain entries followed by its
+     shadows and stamps.  A pure priority reorder (content-preserving,
+     no fault draws) — but it must land *before* the unflip, or an
+     ingress whose update is a pure reorder would unflip onto the old
+     order. *)
+  let classify (e : Netsim.entry) =
+    if List.exists Netsim.is_stamp_tag e.Netsim.tags then `Stamp
+    else if List.exists Netsim.is_version_tag e.Netsim.tags then `Shadow
+    else `Plain
+  in
+  let reorders =
+    List.filter_map
+      (fun k ->
+        let shadows = List.filter (fun e -> classify e = `Shadow) sim.(k) in
+        let stamps = List.filter (fun e -> classify e = `Stamp) sim.(k) in
+        let want = target.(k) @ shadows @ stamps in
+        if sim.(k) = want then None
+        else begin
+          let plain = List.filter (fun e -> classify e = `Plain) sim.(k) in
+          if not (same_contents plain target.(k)) then
+            invalid_arg "Update.build: renormalisation would change contents";
+          Some (k, want)
+        end)
+      (List.init n Fun.id)
+  in
+  List.iter (fun (k, table) -> sim.(k) <- table) reorders;
+  let unflip_ops =
+    List.map
+      (fun i -> Delete { switch = stamp_switch i; entry = stamp_entry i })
+      affected
+  in
+  let gc_shadow_ops =
+    List.concat_map
+      (fun k ->
+        List.map (fun e -> Delete { switch = k; entry = e }) (shadow_at k))
+      shadow_switches
+  in
+  List.iter sim_op unflip_ops;
+  List.iter sim_op gc_shadow_ops;
+  Array.iteri
+    (fun k tbl ->
+      if tbl <> target.(k) then
+        invalid_arg "Update.build: simulated final state differs from target")
+    sim;
+  let headroom = Array.make n 0 in
+  List.iter (fun k -> headroom.(k) <- List.length (shadow_at k)) shadow_switches;
+  List.iter
+    (fun i ->
+      let k = stamp_switch i in
+      headroom.(k) <- headroom.(k) + 1)
+    affected;
+  let waves_rev = ref [] in
+  let idx = ref 0 in
+  let flip_idx = ref (-1) in
+  let unflip_idx = ref (-1) in
+  let push ?(mark = `None) label ops reorders =
+    if ops <> [] || reorders <> [] then begin
+      waves_rev := { label; ops; reorders } :: !waves_rev;
+      (match mark with
+      | `Flip -> flip_idx := !idx
+      | `Unflip -> unflip_idx := !idx
+      | `None -> ());
+      incr idx
+    end
+  in
+  List.iter (fun w -> push w.label w.ops w.reorders) shadow_waves;
+  push ~mark:`Flip "flip" flip_ops [];
+  push "gc-old" gc_old_ops [];
+  push "install-new" install_new_ops reorders;
+  push ~mark:`Unflip "unflip" unflip_ops [];
+  push "gc-shadow" gc_shadow_ops [];
+  {
+    waves = Array.of_list (List.rev !waves_rev);
+    flip_wave = !flip_idx;
+    unflip_wave = !unflip_idx;
+    affected;
+    corpus;
+    old_tables;
+    target;
+    shadow_headroom = headroom;
+    base_occupancy = base;
+    peak_occupancy = peak;
+  }
+
+(* Barrier check: with [committed] waves in, every probe of every
+   ingress must see entirely-old or entirely-new policy.  Unaffected
+   ingresses and affected ones before their flip walk the live tables
+   with their plain tag and must reproduce the old placement's verdict;
+   between flip and unflip an affected ingress walks its new paths with
+   the version tag and must reproduce the target's; after unflip, the
+   plain tag over the new paths must already be the target's. *)
+let inconsistencies plan ~live ~committed =
+  let flip_done = plan.flip_wave >= 0 && committed > plan.flip_wave in
+  let unflip_done = plan.unflip_wave >= 0 && committed > plan.unflip_wave in
+  let bad = ref 0 in
+  List.iter
+    (fun ip ->
+      let i = ip.ingress in
+      let check paths ~walk_tag ~reference =
+        List.iter
+          (fun p ->
+            List.iter
+              (fun pkt ->
+                let got = Netsim.forward_tables live p ~tag:walk_tag pkt in
+                let want = Netsim.forward_tables reference p ~tag:i pkt in
+                if got <> want then incr bad)
+              ip.probes)
+          paths
+      in
+      if not (List.mem i plan.affected) then
+        check ip.old_paths ~walk_tag:i ~reference:plan.old_tables
+      else if not flip_done then
+        check ip.old_paths ~walk_tag:i ~reference:plan.old_tables
+      else if not unflip_done then
+        check ip.new_paths ~walk_tag:(Netsim.vtag i) ~reference:plan.target
+      else check ip.new_paths ~walk_tag:i ~reference:plan.target)
+    plan.corpus;
+  !bad
+
+let execute ?(wave_retries = 1) ?observer ?on_op ?resume ~api ~fault plan =
+  let live = Switch_api.tables api in
+  if Array.length live <> Array.length plan.target then
+    invalid_arg "Update.execute: switch count mismatch";
+  (* The undo point is the pre-update state: captured before a resumed
+     run overwrites the tables with its frontier, because recovery hands
+     us the data plane already resynced to that same pre-update state. *)
+  let undo = Switch_api.snapshot api in
+  let start_wave =
+    match resume with
+    | None -> 0
+    | Some f ->
+      Array.iteri (fun k table -> live.(k) <- table) f.f_tables;
+      Fault_plan.restore fault f.f_fault;
+      Switch_api.restore_stats api f.f_stats;
+      f.f_wave + 1
+  in
+  let n = Array.length plan.waves in
+  let rollbacks = ref 0 in
+  let bad_total = ref 0 in
+  let w = ref start_wave in
+  let restore_undo () =
+    Array.iteri
+      (fun k table ->
+        if live.(k) <> table then Switch_api.force_set api ~switch:k table)
+      undo
+  in
+  let finish outcome =
+    {
+      outcome;
+      waves_committed = !w;
+      wave_rollbacks = !rollbacks;
+      violations = !bad_total;
+    }
+  in
+  let barrier ~committed =
+    let bad = inconsistencies plan ~live ~committed in
+    if bad > 0 then begin
+      bad_total := !bad_total + bad;
+      violations_seen := !violations_seen + bad
+    end;
+    bad = 0
+  in
+  let verify_failed () =
+    restore_undo ();
+    finish (Aborted { switch = -1; op = "verify" })
+  in
+  (* A resumed run re-proves the restored frontier's consistency before
+     issuing any further operation. *)
+  if resume <> None && not (barrier ~committed:start_wave) then verify_failed ()
+  else begin
+    let aborted = ref None in
+    while !aborted = None && !w < n do
+      let wave = plan.waves.(!w) in
+      (match observer with Some o -> o.on_wave_begin ~wave:!w | None -> ());
+      let t0 = Telemetry.Clock.now () in
+      let snap = Switch_api.snapshot api in
+      let apply_op op =
+        let switch, name =
+          match op with
+          | Install { switch; _ } -> (switch, "install")
+          | Delete { switch; _ } -> (switch, "delete")
+        in
+        (match on_op with Some f -> f ~switch ~op:name | None -> ());
+        match op with
+        | Install { switch; entry } -> Switch_api.install api ~switch entry
+        | Delete { switch; entry } -> Switch_api.delete api ~switch entry
+      in
+      let rec attempt tries =
+        let done_ops = ref [] in
+        let rec run = function
+          | [] -> None
+          | op :: rest ->
+            if apply_op op then begin
+              done_ops := op :: !done_ops;
+              run rest
+            end
+            else Some op
+        in
+        match run wave.ops with
+        | None -> `Committed
+        | Some failed ->
+          incr rollbacks;
+          Telemetry.Metrics.incr m_wave_rollbacks;
+          (* Wave rollback: compensate the wave's applied operations in
+             reverse through the faulty API, then force-resync whatever
+             is still off the wave's entry snapshot — the data plane is
+             back on the last consistent frontier either way. *)
+          Switch_api.compensating api (fun () ->
+              List.iter
+                (fun op ->
+                  match op with
+                  | Install { switch; entry } ->
+                    ignore (Switch_api.delete api ~switch entry)
+                  | Delete { switch; entry } ->
+                    ignore (Switch_api.install api ~switch entry))
+                !done_ops);
+          Array.iteri
+            (fun k table ->
+              if live.(k) <> table then Switch_api.force_set api ~switch:k table)
+            snap;
+          if tries < wave_retries then attempt (tries + 1)
+          else
+            let switch, op =
+              match failed with
+              | Install { switch; _ } -> (switch, "install")
+              | Delete { switch; _ } -> (switch, "delete")
+            in
+            `Failed (switch, op)
+      in
+      match attempt 0 with
+      | `Failed (switch, op) ->
+        restore_undo ();
+        aborted := Some (finish (Aborted { switch; op }))
+      | `Committed ->
+        (* Renormalisation rides the wave's commit: a direct controller
+           priority rewrite, content-preserving by construction. *)
+        List.iter
+          (fun (k, table) ->
+            assert (same_contents live.(k) table);
+            live.(k) <- table)
+          wave.reorders;
+        if not (barrier ~committed:(!w + 1)) then
+          aborted := Some (verify_failed ())
+        else begin
+          let frontier =
+            {
+              f_wave = !w;
+              f_tables = Switch_api.snapshot api;
+              f_fault = Fault_plan.capture fault;
+              f_stats = Switch_api.copy_stats (Switch_api.stats api);
+            }
+          in
+          Telemetry.Metrics.incr m_waves;
+          Telemetry.Metrics.observe m_wave_s (Telemetry.Clock.now () -. t0);
+          (match observer with
+          | Some o -> o.on_wave_commit ~wave:!w ~frontier
+          | None -> ());
+          incr w
+        end
+    done;
+    match !aborted with
+    | Some r -> r
+    | None ->
+      (* Defensive final write, mirroring Transaction's commit: contents
+         are already in place, fix any residual order drift. *)
+      Array.iteri
+        (fun k table ->
+          if live.(k) <> table then begin
+            assert (same_contents live.(k) table);
+            live.(k) <- table
+          end)
+        plan.target;
+      finish Committed
+  end

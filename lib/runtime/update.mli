@@ -1,0 +1,156 @@
+(** Per-packet-consistent update scheduling with crash-resumable waves.
+
+    {!Transaction} moves the data plane add-before-delete, which keeps a
+    firewall safe (transient extra drops only) but not {e consistent}: a
+    packet in flight mid-transaction can match a mix of the outgoing and
+    incoming placements.  This module upgrades an update to per-packet
+    consistency with the classic two-phase tag-and-match construction,
+    executed as a sequence of {e waves} with a barrier after each:
+
+    + {b shadow waves} (deepest switches first) install a version-tagged
+      copy of every new-placement entry an affected ingress needs, keyed
+      on {!Netsim.vtag}; invisible to live (plain-tagged) traffic;
+    + the {b flip wave} installs a {!Netsim.stamp_tag} marker per
+      affected ingress at its attachment switch — from this barrier on,
+      affected traffic is walked with the version tag and sees exactly
+      the new placement's shadows;
+    + {b gc-old} deletes the outgoing placement's entries (dead, since
+      every affected ingress flipped);
+    + {b install-new} appends the incoming placement's plain entries
+      (invisible to version-tagged walks) and, at its commit,
+      renormalises each touched switch to target priority order;
+    + {b unflip} removes the stamps — plain walks now see exactly the
+      target — and {b gc-shadow} removes the version-tagged copies.
+
+    Every intermediate state shows each ingress entirely-old or
+    entirely-new policy, which the barrier after each wave re-proves by
+    walking probe packets over live tables against the old and new
+    placements' verdicts.
+
+    A failed operation triggers bounded retry of its wave: applied
+    operations are compensated (through the same faulty API, in
+    {!Switch_api.compensating} mode) and the wave restarts from its
+    entry snapshot.  A wave that exhausts its retries aborts the whole
+    update back to the pre-update tables; the caller (see
+    {!Engine.config.update_mode}) then degrades to the legacy
+    single-transaction path.
+
+    Each committed wave yields a {!frontier} — tables, fault-plan state
+    and api stats — which the journal persists ({!Journal.Wal}'s
+    [Wave_begin]/[Wave_commit] records) so that a crash mid-update
+    resumes from the last committed wave with the exact remaining fault
+    sequence, converging byte-identically to an uncrashed run. *)
+
+type ingress_paths = {
+  ingress : int;
+  old_paths : Routing.Path.t list;  (** routed paths before the update *)
+  new_paths : Routing.Path.t list;  (** routed paths after the update *)
+  probes : Ternary.Packet.t list;
+      (** packets the barrier walks for this ingress *)
+}
+
+type op =
+  | Install of { switch : int; entry : Netsim.entry }
+  | Delete of { switch : int; entry : Netsim.entry }
+
+type wave = {
+  label : string;  (** ["shadow-depth-N"], ["flip"], ["gc-old"], ... *)
+  ops : op list;
+  reorders : (int * Netsim.entry list) list;
+      (** content-preserving priority rewrites applied at wave commit
+          (controller writes, no fault draws) *)
+}
+
+type plan = {
+  waves : wave array;
+  flip_wave : int;  (** index of the flip wave, [-1] when nothing flips *)
+  unflip_wave : int;
+  affected : int list;
+      (** ingresses whose projection or paths change, sorted *)
+  corpus : ingress_paths list;
+  old_tables : Netsim.entry list array;  (** detached pre-update snapshot *)
+  target : Netsim.entry list array;
+  shadow_headroom : int array;
+      (** per-switch transient entries (shadows + stamps) beyond the
+          placements' own *)
+  base_occupancy : int array;  (** per-switch [max |old| |target|] *)
+  peak_occupancy : int array;
+      (** per-switch maximum simulated occupancy over the whole update;
+          bounded by base + headroom *)
+}
+
+type frontier = {
+  f_wave : int;  (** index of the last committed wave *)
+  f_tables : Netsim.entry list array;
+  f_fault : Fault_plan.state;
+  f_stats : Switch_api.stats;
+}
+(** Everything needed to resume after this wave: plain data, safe to
+    [Marshal] into a WAL record. *)
+
+type observer = {
+  on_wave_begin : wave:int -> unit;
+  on_wave_commit : wave:int -> frontier:frontier -> unit;
+}
+
+type outcome =
+  | Committed
+  | Aborted of { switch : int; op : string }
+      (** [op] is ["install"] / ["delete"] for an exhausted operation
+          ([switch] = its switch), or ["verify"] (switch [-1]) when a
+          barrier caught a consistency violation *)
+
+type result = {
+  outcome : outcome;
+  waves_committed : int;
+      (** total committed waves, resumed ones included — a recovered run
+          reports the same count as an uncrashed one *)
+  wave_rollbacks : int;
+  violations : int;  (** probe walks that saw mixed policy (0 on a sound plan) *)
+}
+
+val build :
+  attach:(int -> int) ->
+  corpus:ingress_paths list ->
+  old_tables:Netsim.entry list array ->
+  target:Netsim.entry list array ->
+  plan
+(** Plan the wave schedule moving [old_tables] to [target].  [attach]
+    gives an ingress's attachment switch, used to place its flip stamp
+    when it has no new path.  Deterministic: equal inputs yield equal
+    plans.  The whole schedule is simulated at plan time; raises
+    [Invalid_argument] if the simulated final state is not exactly the
+    target (a planner bug, never data-dependent). *)
+
+val execute :
+  ?wave_retries:int ->
+  ?observer:observer ->
+  ?on_op:(switch:int -> op:string -> unit) ->
+  ?resume:frontier ->
+  api:Switch_api.t ->
+  fault:Fault_plan.t ->
+  plan ->
+  result
+(** Run the plan's waves against the live tables.  [wave_retries]
+    (default 1) bounds how often a wave is rolled back to its entry
+    snapshot and retried before the update aborts to the pre-update
+    tables.  [on_op] is called before each per-entry operation (the
+    journal's mid-apply kill-point hook); [observer] fires at wave
+    boundaries, after the barrier has re-proved consistency.
+
+    With [resume], the pre-update undo point is captured first (recovery
+    hands over tables resynced to it), then the frontier's tables,
+    fault-plan state and stats are restored, the frontier's consistency
+    is re-proved, and execution continues at wave [f_wave + 1] —
+    committed waves are not re-executed and fire no hooks. *)
+
+val inconsistencies :
+  plan -> live:Netsim.entry list array -> committed:int -> int
+(** The barrier check itself: number of probe walks over [live] that
+    disagree with the single placement (old or new) the ingress must be
+    seeing with [committed] waves in.  Exposed for property tests. *)
+
+val violations_total : unit -> int
+(** Process-wide count of consistency violations ever observed by a
+    barrier — independent of telemetry, so chaos benches can assert on
+    it even with metrics off. *)

@@ -29,6 +29,7 @@ let () =
       ("sat-opt", Test_sat_opt.suite);
       ("portfolio", Test_portfolio.suite);
       ("runtime", Test_runtime.suite);
+      ("update", Test_update.suite);
       ("transaction-props", Test_transaction_props.suite);
       ("journal", Test_journal.suite);
       ("properties", Test_properties.suite);

@@ -242,15 +242,29 @@ let test_journaled_record_stream () =
   Alcotest.(check bool) "event verified" true r.Report.verified;
   Alcotest.(check int) "seq advanced" 1 (Journaled.seq j);
   let records, _ = Wal.scan (store.Store.wal_read ()) in
+  (* Between Tx_intent and Tx_commit sits one Wave_begin/Wave_commit
+     pair per consistent-update wave, numbered 0.. in order. *)
+  let rec waves n = function
+    | Wal.Wave_begin { seq = 1; wave } :: Wal.Wave_commit { seq = 1; wave = w'; _ } :: rest
+      when wave = n && w' = n ->
+      waves (n + 1) rest
+    | rest -> (n, rest)
+  in
   (match records with
-  | [
-   Wal.Ev_begin { seq = 1; client = Some "c1"; _ };
-   Wal.Tx_intent { seq = 1; _ };
-   Wal.Tx_commit { seq = 1 };
-   Wal.Ev_commit { seq = 1; signature };
-  ] ->
-    Alcotest.(check string) "logged signature matches the report" signature
-      (Report.signature r)
+  | Wal.Ev_begin { seq = 1; client = Some "c1"; _ }
+    :: Wal.Tx_intent { seq = 1; _ }
+    :: rest -> (
+    match waves 0 rest with
+    | ( n,
+        [ Wal.Tx_commit { seq = 1 }; Wal.Ev_commit { seq = 1; signature } ] )
+      ->
+      Alcotest.(check bool) "at least one wave logged" true (n > 0);
+      Alcotest.(check int) "wave count matches the report" r.Report.waves n;
+      Alcotest.(check string) "logged signature matches the report" signature
+        (Report.signature r)
+    | _ ->
+      Alcotest.failf "unexpected record stream: %s"
+        (String.concat "; " (List.map Wal.describe records)))
   | rs ->
     Alcotest.failf "unexpected record stream: %s"
       (String.concat "; " (List.map Wal.describe rs)));
@@ -308,12 +322,17 @@ let crashed_run ~kp ~crash_at n =
   let armed = ref false and fired = ref 0 and countdown = ref 0 in
   let kill p =
     if !armed && p = kp then begin
+      (* Per-occurrence points get a countdown so the crash lands past
+         the first op / past the first committed wave — the latter is
+         what makes recovery take the Resumed path instead of a plain
+         rollback. *)
       let fire =
-        if p = Journaled.Mid_apply then begin
+        match p with
+        | Journaled.Mid_apply | Journaled.After_wave_begin
+        | Journaled.Before_wave_commit ->
           decr countdown;
           !countdown <= 0
-        end
-        else true
+        | _ -> true
       in
       if fire then begin
         armed := false;
@@ -388,6 +407,68 @@ let test_kill_point_matrix () =
           Alcotest.(check (list int)) (name ^ ": quarantine set") ref_q q)
         [ 1; 5; 10 ])
     Journaled.all_kill_points
+
+(* A crash after the first Wave_commit must recover via the Resumed
+   resolution — committed waves are not re-applied, the run picks up at
+   the durable frontier — and still land byte-identical to an uncrashed
+   run of the same event. *)
+let test_mid_wave_crash_resumes () =
+  List.iter
+    (fun kp ->
+      let name = Journaled.kill_point_name kp in
+      (* uncrashed reference *)
+      let ref_eng =
+        Engine.create ~config:(config ()) (initial (Test_runtime.diamond ()))
+      in
+      let ref_r = Engine.handle ref_eng (Test_runtime.install_event ()) in
+      (* crashed run: fire on the kill point's second occurrence, i.e.
+         with wave 0 already durable in the log *)
+      let store, _ = Store.memory () in
+      let countdown = ref 2 in
+      let kill p =
+        if p = kp then begin
+          decr countdown;
+          if !countdown = 0 then
+            raise (Journaled.Killed (Journaled.kill_point_name p))
+        end
+      in
+      let j =
+        Journaled.create ~config:(config ())
+          ~journal:{ Journaled.snapshot_every = 100 }
+          ~kill ~store
+          (initial (Test_runtime.diamond ()))
+      in
+      (match Journaled.handle j (Test_runtime.install_event ()) with
+      | _ -> Alcotest.failf "%s: run did not crash" name
+      | exception Journaled.Killed _ -> ());
+      match Journaled.recover ~config:(config ()) ~store () with
+      | Error msg -> Alcotest.failf "%s: recovery failed: %s" name msg
+      | Ok rcv ->
+        (match rcv.Journaled.resolution with
+        | Some (Journaled.Resumed { seq = 1; wave = 0 }) -> ()
+        | Some res ->
+          Alcotest.failf "%s: expected Resumed from wave 0, got %s" name
+            (match res with
+            | Journaled.Replayed s -> Printf.sprintf "Replayed %d" s
+            | Journaled.Rolled_back s -> Printf.sprintf "Rolled_back %d" s
+            | Journaled.Rolled_forward s ->
+              Printf.sprintf "Rolled_forward %d" s
+            | Journaled.Resumed { seq; wave } ->
+              Printf.sprintf "Resumed {seq=%d; wave=%d}" seq wave)
+        | None -> Alcotest.failf "%s: no resolution" name);
+        Alcotest.(check (list string)) (name ^ ": divergence-free") []
+          rcv.Journaled.divergences;
+        (match rcv.Journaled.replayed with
+        | [ (1, r) ] ->
+          Alcotest.(check string) (name ^ ": signature matches uncrashed")
+            (Report.signature ref_r) (Report.signature r);
+          Alcotest.(check int) (name ^ ": wave count matches uncrashed")
+            ref_r.Report.waves r.Report.waves
+        | _ -> Alcotest.failf "%s: expected exactly event 1 replayed" name);
+        Alcotest.(check bool) (name ^ ": tables byte-identical") true
+          (Engine.table_snapshot (Journaled.engine rcv.Journaled.journaled)
+          = Engine.table_snapshot ref_eng))
+    [ Journaled.After_wave_begin; Journaled.Before_wave_commit ]
 
 (* Corrupt tail at the journal level: run, flip a byte near the end of
    the durable log, recover (must not fail), keep driving, and still
@@ -544,6 +625,8 @@ let suite =
       test_recover_without_snapshot;
     Alcotest.test_case "kill-point matrix recovers byte-identical" `Slow
       test_kill_point_matrix;
+    Alcotest.test_case "mid-wave crash resumes from the durable frontier"
+      `Quick test_mid_wave_crash_resumes;
     Alcotest.test_case "corrupt journal tail truncates and converges" `Quick
       test_corrupt_tail_recovery_converges;
     Alcotest.test_case "recovery is idempotent" `Quick test_recovery_idempotent;

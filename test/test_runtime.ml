@@ -336,6 +336,47 @@ let test_incremental_cancel () =
   ignore r.Incremental.status
 
 (* ------------------------------------------------------------------ *)
+(* Update modes: consistent waves, legacy, and the degraded fallback    *)
+
+let test_update_modes () =
+  (* consistent (the default): a committing install reports its waves *)
+  let eng = empty_engine ~config:(test_config ()) (diamond ()) in
+  let r = Engine.handle eng (install_event ()) in
+  check_report ~applied:Report.Committed "consistent install" r;
+  Alcotest.(check bool) "waves reported" true (r.Report.waves > 0);
+  Alcotest.(check bool) "signature carries the wave count" true
+    (let sig_ = Report.signature r in
+     let want = Printf.sprintf "waves=%d" r.Report.waves in
+     let n = String.length sig_ and m = String.length want in
+     n >= m && String.sub sig_ (n - m) m = want);
+  (* legacy: same event, single-transaction path, zero waves *)
+  let config =
+    { (test_config ()) with Engine.update_mode = Engine.Legacy }
+  in
+  let eng = empty_engine ~config (diamond ()) in
+  let r = Engine.handle eng (install_event ()) in
+  check_report ~applied:Report.Committed "legacy install" r;
+  Alcotest.(check int) "no waves in legacy mode" 0 r.Report.waves
+
+let test_consistent_falls_back_to_legacy () =
+  (* Exhaust the consistent path deterministically: zero wave retries
+     and a forced-fail burst long enough to burn the first operation's
+     whole retry budget (1 + 4 retries).  The wave aborts, the engine
+     degrades to the legacy transaction — whose draws are clean again —
+     and the report must say so. *)
+  let fault = Fault_plan.make ~seed:41 () in
+  let config =
+    { (test_config ()) with Engine.update_wave_retries = 0 }
+  in
+  let eng = empty_engine ~config ~fault (diamond ()) in
+  Fault_plan.fail_next fault 5;
+  let r = Engine.handle eng (install_event ()) in
+  check_report ~applied:Report.Committed_fallback "degraded install" r;
+  Alcotest.(check int) "no waves survived" 0 r.Report.waves;
+  Alcotest.(check bool) "entries installed by the fallback" true
+    (Engine.live_entries eng > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Seeded chaos: replayability and per-event verification              *)
 
 let chaos_run ~seed n =
@@ -390,6 +431,10 @@ let suite =
       test_incremental_deadline_prompt;
     Alcotest.test_case "cancel hook reaches the sub-solve" `Quick
       test_incremental_cancel;
+    Alcotest.test_case "consistent and legacy update modes report waves" `Quick
+      test_update_modes;
+    Alcotest.test_case "aborted waves degrade to the legacy transaction" `Quick
+      test_consistent_falls_back_to_legacy;
     Alcotest.test_case "chaos run verifies after every event" `Slow
       test_chaos_verified;
     Alcotest.test_case "chaos run replays from its seed" `Slow

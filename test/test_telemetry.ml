@@ -280,6 +280,86 @@ let test_simplex_series_record () =
       "sdnplace_ilp_warm_start_misses_total";
     ]
 
+(* ---------------- consistent-update wave series and span ------------- *)
+
+let test_update_wave_series_record () =
+  let c_waves = Metrics.counter "sdnplace_update_waves_total" in
+  let c_rolls = Metrics.counter "sdnplace_update_wave_rollbacks_total" in
+  let h_wave =
+    Metrics.histogram
+      ~buckets:[| 0.0001; 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 |]
+      "sdnplace_update_wave_seconds"
+  in
+  let w0 = Metrics.counter_value c_waves in
+  let l0 = (Metrics.snapshot h_wave).Metrics.count in
+  Metrics.enable ();
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.disable ();
+      Trace.disable ())
+    (fun () ->
+      (* one committing install through the engine's consistent path *)
+      let inst =
+        Workload.build
+          { Workload.default with Workload.num_policies = 2; rules = 4 }
+      in
+      let options =
+        Placement.Solve.options
+          ~ilp_config:{ Ilp.Solver.default_config with time_limit = 10.0 }
+          ()
+      in
+      let report = Placement.Solve.run ~options inst in
+      let initial = Option.get report.Placement.Solve.solution in
+      let config =
+        {
+          Runtime.Engine.default_config with
+          Runtime.Engine.solve_options = options;
+        }
+      in
+      let eng = Runtime.Engine.create ~config initial in
+      let churn = Runtime.Churn.make ~rules:4 ~seed:5 () in
+      ignore (Runtime.Churn.drive churn eng 3));
+  let waves = Metrics.counter_value c_waves - w0 in
+  Alcotest.(check bool) "wave counter advanced" true (waves > 0);
+  Alcotest.(check int) "one latency observation per committed wave" waves
+    ((Metrics.snapshot h_wave).Metrics.count - l0);
+  ignore (Metrics.counter_value c_rolls);
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " registered") true
+        (List.mem name (Metrics.series_names ())))
+    [
+      "sdnplace_update_waves_total";
+      "sdnplace_update_wave_rollbacks_total";
+      "sdnplace_update_wave_seconds_sum";
+      "sdnplace_update_wave_seconds_count";
+    ];
+  (* the update span sits under runtime.event in the trace tree *)
+  let infos = Trace.spans () in
+  let by_id id =
+    List.find_opt (fun (i : Trace.info) -> i.Trace.id = id) infos
+  in
+  let rec under_event (i : Trace.info) =
+    i.Trace.name = "runtime.event"
+    ||
+    match i.Trace.parent with
+    | None -> false
+    | Some p -> ( match by_id p with None -> false | Some q -> under_event q)
+  in
+  let updates =
+    List.filter (fun (i : Trace.info) -> i.Trace.name = "runtime.update") infos
+  in
+  Alcotest.(check bool) "runtime.update spans recorded" true (updates <> []);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "runtime.update nested under runtime.event" true
+        (under_event i))
+    updates;
+  Alcotest.(check (list string)) "trace still nests" [] (Trace.check_nesting ());
+  Trace.reset ()
+
 (* ---------------- determinism: telemetry must not perturb runs ------- *)
 
 let drive_signatures ~seed =
@@ -354,6 +434,8 @@ let suite =
       test_disabled_trace_is_inert;
     Alcotest.test_case "simplex + warm-start series record" `Quick
       test_simplex_series_record;
+    Alcotest.test_case "update wave series + span record" `Quick
+      test_update_wave_series_record;
     Alcotest.test_case "telemetry does not perturb a seeded run" `Quick
       test_telemetry_does_not_perturb;
   ]

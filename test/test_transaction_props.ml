@@ -127,10 +127,115 @@ let prop_partial_apply_restored =
       | Transaction.Rolled_back { switch; _ } ->
         switch = switches - 1 && bytes_of (Switch_api.tables api) = before)
 
+(* ------------------------------------------------------------------ *)
+(* Per-packet-consistent wave updates                                  *)
+
+let random_packet g =
+  Ternary.Packet.make ~src:(Prng.int g 1000)
+    ~dst:(Prng.int g 1000)
+    ~sport:(Prng.int g 100) ~dport:(Prng.int g 100)
+    ~proto:(if Prng.bool g then 6 else 17)
+
+let random_path g ~switches ~ingress =
+  let len = 1 + Prng.int g switches in
+  let hops = List.init len (fun _ -> Prng.int g switches) in
+  Routing.Path.make ~ingress ~egress:(Prng.int g 4) ~switches:hops ()
+
+let random_corpus g ~switches ~ingresses =
+  List.init ingresses (fun ingress ->
+      let paths () =
+        List.init (1 + Prng.int g 2) (fun _ ->
+            random_path g ~switches ~ingress)
+      in
+      {
+        Update.ingress;
+        old_paths = paths ();
+        new_paths = paths ();
+        probes = List.init (1 + Prng.int g 3) (fun _ -> random_packet g);
+      })
+
+(* The tentpole property: whatever placements an update moves between
+   and whatever the fault plan does to it, every barrier must see each
+   ingress on entirely-old or entirely-new policy (zero violations), a
+   committed update must land byte-exactly on the target, an aborted one
+   byte-exactly back on the old tables, and no intermediate state may
+   exceed the planned base-plus-headroom occupancy on any switch. *)
+let prop_waves_old_xor_new =
+  QCheck.Test.make ~name:"wave updates are per-packet consistent under faults"
+    ~count:150 seed_arb (fun seed ->
+      let g = Prng.create seed in
+      let switches = 2 + Prng.int g 4 in
+      let ingresses = 1 + Prng.int g 4 in
+      (* entry tags drawn from the ingress ids so projections overlap *)
+      let random_entry g =
+        {
+          Netsim.tags = [ Prng.int g ingresses ];
+          rule =
+            Acl.Rule.make ~field:Ternary.Field.any
+              ~action:(if Prng.bool g then Acl.Rule.Permit else Acl.Rule.Drop)
+              ~priority:(Prng.int g 32);
+        }
+      in
+      let table g =
+        List.init (Prng.int g 5) (fun _ -> random_entry g)
+      in
+      let old_tables = Array.init switches (fun _ -> table g) in
+      let target = Array.init switches (fun _ -> table g) in
+      let corpus = random_corpus g ~switches ~ingresses in
+      let plan =
+        Update.build
+          ~attach:(fun i -> i mod switches)
+          ~corpus ~old_tables ~target
+      in
+      let occupancy_ok () =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun k peak ->
+               peak
+               <= plan.Update.base_occupancy.(k)
+                  + plan.Update.shadow_headroom.(k))
+             plan.Update.peak_occupancy)
+      in
+      let fault =
+        Fault_plan.make
+          ~fail_rate:(Prng.float g 0.4)
+          ~timeout_rate:(Prng.float g 0.2)
+          ~seed:(seed lxor 0x3A7E) ()
+      in
+      let config =
+        { Switch_api.default_config with Switch_api.max_retries = Prng.int g 3 }
+      in
+      let live = Array.copy old_tables in
+      let api = Switch_api.create ~config ~fault live in
+      let before = bytes_of (Switch_api.snapshot api) in
+      (* re-run the barrier ourselves at every committed frontier: the
+         live tables mid-update must already be single-version *)
+      let observer =
+        {
+          Update.on_wave_begin = (fun ~wave:_ -> ());
+          on_wave_commit =
+            (fun ~wave ~frontier:_ ->
+              if
+                Update.inconsistencies plan ~live:(Switch_api.tables api)
+                  ~committed:(wave + 1)
+                <> 0
+              then QCheck.Test.fail_reportf "mixed policy after wave %d" wave);
+        }
+      in
+      let r =
+        Update.execute ~wave_retries:(Prng.int g 3) ~observer ~api ~fault plan
+      in
+      r.Update.violations = 0 && occupancy_ok ()
+      &&
+      match r.Update.outcome with
+      | Update.Committed -> bytes_of (Switch_api.tables api) = bytes_of target
+      | Update.Aborted _ -> bytes_of (Switch_api.tables api) = before)
+
 let suite =
   [
     qtest prop_apply_all_or_nothing;
     qtest prop_double_rollback_noop;
     qtest prop_restore_idempotent;
     qtest prop_partial_apply_restored;
+    qtest prop_waves_old_xor_new;
   ]

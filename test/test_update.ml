@@ -1,0 +1,289 @@
+(* The per-packet-consistent update scheduler: wave planning and
+   labels, clean execution landing exactly on the target, fault-driven
+   wave rollback and whole-update abort, frontier-based resume, the
+   transient-occupancy bound, and the forward/compensation backoff
+   accounting split in the switch API. *)
+open Runtime
+
+module Metrics = Telemetry.Metrics
+
+let entry ?(action = Acl.Rule.Permit) tag p =
+  {
+    Netsim.tags = [ tag ];
+    rule = Acl.Rule.make ~field:Ternary.Field.any ~action ~priority:p;
+  }
+
+let packet i =
+  Ternary.Packet.make ~src:i ~dst:(i + 1) ~sport:7 ~dport:9 ~proto:6
+
+let path ~ingress ~egress switches =
+  Routing.Path.make ~ingress ~egress ~switches ()
+
+let bytes_of t = Marshal.to_string t []
+
+(* Ingress 0 moves from switch 0 (permit-only) to switch 1 (drop rule on
+   top): both the placement and the verdict change, so a mixed-policy
+   walk would be detectable by the barrier. *)
+let small_corpus () =
+  [
+    {
+      Update.ingress = 0;
+      old_paths = [ path ~ingress:0 ~egress:1 [ 0 ] ];
+      new_paths = [ path ~ingress:0 ~egress:1 [ 1 ] ];
+      probes = [ packet 0 ];
+    };
+  ]
+
+let old_tables () = [| [ entry 0 1 ]; [] |]
+let target_tables () = [| []; [ entry ~action:Acl.Rule.Drop 0 9; entry 0 2 ] |]
+
+let build_small () =
+  Update.build
+    ~attach:(fun _ -> 0)
+    ~corpus:(small_corpus ())
+    ~old_tables:(old_tables ()) ~target:(target_tables ())
+
+(* ------------------------------------------------------------------ *)
+
+let test_plan_structure () =
+  let plan = build_small () in
+  Alcotest.(check (list string))
+    "wave labels in protocol order"
+    [ "shadow-depth-1"; "flip"; "gc-old"; "install-new"; "unflip"; "gc-shadow" ]
+    (Array.to_list (Array.map (fun w -> w.Update.label) plan.Update.waves));
+  Alcotest.(check int) "flip wave index" 1 plan.Update.flip_wave;
+  Alcotest.(check int) "unflip wave index" 4 plan.Update.unflip_wave;
+  Alcotest.(check (list int)) "affected ingresses" [ 0 ] plan.Update.affected;
+  Array.iteri
+    (fun k peak ->
+      Alcotest.(check bool)
+        (Printf.sprintf "switch %d: peak within base + headroom" k)
+        true
+        (peak
+        <= plan.Update.base_occupancy.(k) + plan.Update.shadow_headroom.(k)))
+    plan.Update.peak_occupancy;
+  (* equal inputs, equal plans — wave schedules are seed-reproducible *)
+  Alcotest.(check bool) "planning is deterministic" true
+    (bytes_of plan = bytes_of (build_small ()))
+
+let test_clean_execute () =
+  let plan = build_small () in
+  let api = Switch_api.create ~fault:Fault_plan.none (Array.copy (old_tables ())) in
+  let boundaries = ref [] in
+  let observer =
+    {
+      Update.on_wave_begin = (fun ~wave -> boundaries := (`B, wave) :: !boundaries);
+      on_wave_commit =
+        (fun ~wave ~frontier:_ -> boundaries := (`C, wave) :: !boundaries);
+    }
+  in
+  let r = Update.execute ~observer ~api ~fault:Fault_plan.none plan in
+  Alcotest.(check bool) "committed" true (r.Update.outcome = Update.Committed);
+  Alcotest.(check int) "every wave committed"
+    (Array.length plan.Update.waves)
+    r.Update.waves_committed;
+  Alcotest.(check int) "no rollbacks" 0 r.Update.wave_rollbacks;
+  Alcotest.(check int) "no violations" 0 r.Update.violations;
+  Alcotest.(check bool) "tables land exactly on the target" true
+    (bytes_of (Switch_api.tables api) = bytes_of (target_tables ()));
+  let want =
+    List.concat_map
+      (fun w -> [ (`B, w); (`C, w) ])
+      (List.init (Array.length plan.Update.waves) Fun.id)
+  in
+  Alcotest.(check bool) "observer saw begin/commit per wave in order" true
+    (List.rev !boundaries = want)
+
+let test_wave_rollback_then_commit () =
+  let plan = build_small () in
+  let fault = Fault_plan.make ~seed:5 () in
+  let config = { Switch_api.default_config with Switch_api.max_retries = 0 } in
+  let api = Switch_api.create ~config ~fault (Array.copy (old_tables ())) in
+  let ops = ref 0 in
+  (* fail the second operation of the first (two-op shadow) wave: the
+     first shadow is already in, so the rollback must compensate it *)
+  let on_op ~switch:_ ~op:_ =
+    incr ops;
+    if !ops = 2 then Fault_plan.fail_next fault 1
+  in
+  let r = Update.execute ~on_op ~api ~fault plan in
+  Alcotest.(check bool) "committed after wave retry" true
+    (r.Update.outcome = Update.Committed);
+  Alcotest.(check int) "one wave rollback" 1 r.Update.wave_rollbacks;
+  Alcotest.(check int) "no violations" 0 r.Update.violations;
+  Alcotest.(check bool) "tables land exactly on the target" true
+    (bytes_of (Switch_api.tables api) = bytes_of (target_tables ()))
+
+let test_abort_restores_pre_update () =
+  let plan = build_small () in
+  let fault = Fault_plan.make ~seed:6 () in
+  let config = { Switch_api.default_config with Switch_api.max_retries = 0 } in
+  let api = Switch_api.create ~config ~fault (Array.copy (old_tables ())) in
+  let before = bytes_of (Switch_api.snapshot api) in
+  Fault_plan.fail_next fault 1;
+  let r = Update.execute ~wave_retries:0 ~api ~fault plan in
+  (match r.Update.outcome with
+  | Update.Aborted { op = "install"; _ } -> ()
+  | Update.Aborted { op; _ } -> Alcotest.failf "aborted on unexpected op %s" op
+  | Update.Committed -> Alcotest.fail "expected abort");
+  Alcotest.(check int) "nothing committed" 0 r.Update.waves_committed;
+  Alcotest.(check int) "the failed wave counts as rolled back" 1
+    r.Update.wave_rollbacks;
+  Alcotest.(check bool) "tables byte-identical to pre-update" true
+    (bytes_of (Switch_api.tables api) = before)
+
+let test_resume_from_frontier () =
+  (* reference: uncrashed clean run, frontiers captured per wave *)
+  let plan = build_small () in
+  let frontiers = ref [] in
+  let observer =
+    {
+      Update.on_wave_begin = (fun ~wave:_ -> ());
+      on_wave_commit =
+        (fun ~wave ~frontier -> frontiers := (wave, frontier) :: !frontiers);
+    }
+  in
+  let ref_api =
+    Switch_api.create ~fault:Fault_plan.none (Array.copy (old_tables ()))
+  in
+  let ref_r = Update.execute ~observer ~api:ref_api ~fault:Fault_plan.none plan in
+  Alcotest.(check bool) "reference committed" true
+    (ref_r.Update.outcome = Update.Committed);
+  (* resume from every committed frontier: the recovered run starts from
+     tables resynced to the undo point (recovery's contract), restores
+     the frontier, and must land byte-identical with the same absolute
+     wave count *)
+  List.iter
+    (fun (wave, frontier) ->
+      (* round-trip the frontier through Marshal like the WAL does *)
+      let frontier =
+        (Marshal.from_string (Marshal.to_string frontier []) 0 : Update.frontier)
+      in
+      let api =
+        Switch_api.create ~fault:Fault_plan.none (Array.copy (old_tables ()))
+      in
+      let r =
+        Update.execute ~resume:frontier ~api ~fault:Fault_plan.none plan
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "resume@%d: committed" wave)
+        true
+        (r.Update.outcome = Update.Committed);
+      Alcotest.(check int)
+        (Printf.sprintf "resume@%d: absolute wave count" wave)
+        ref_r.Update.waves_committed r.Update.waves_committed;
+      Alcotest.(check bool)
+        (Printf.sprintf "resume@%d: tables byte-identical" wave)
+        true
+        (bytes_of (Switch_api.tables api) = bytes_of (Switch_api.tables ref_api)))
+    !frontiers
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: forward vs rollback-compensation backoff accounting.     *)
+
+let backoff_buckets = [| 0.001; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0; 10.0; 60.0 |]
+
+let op_hist () =
+  Metrics.histogram ~buckets:backoff_buckets
+    "sdnplace_switch_op_backoff_seconds"
+
+let rb_hist () =
+  Metrics.histogram ~buckets:backoff_buckets
+    "sdnplace_switch_rollback_backoff_seconds"
+
+let hist_sum h = (Metrics.snapshot h).Metrics.sum
+
+let test_backoff_split_accounting () =
+  Metrics.enable ();
+  Fun.protect ~finally:(fun () -> Metrics.disable ()) @@ fun () ->
+  (* --- unit level: one forward retry, one compensation retry -------- *)
+  let op0 = hist_sum (op_hist ()) and rb0 = hist_sum (rb_hist ()) in
+  let g0 = (Switch_api.global_stats ()).Switch_api.backoff_s in
+  let fault = Fault_plan.make ~seed:7 () in
+  let config = { Switch_api.default_config with Switch_api.max_retries = 1 } in
+  let api = Switch_api.create ~config ~fault [| [] |] in
+  Fault_plan.fail_next fault 1;
+  Alcotest.(check bool) "forward install retries into success" true
+    (Switch_api.install api ~switch:0 (entry 0 1));
+  let op1 = hist_sum (op_hist ()) and rb1 = hist_sum (rb_hist ()) in
+  Alcotest.(check bool) "forward backoff lands in the op histogram" true
+    (op1 > op0);
+  Alcotest.(check (float 0.0)) "no rollback backoff yet" rb0 rb1;
+  Fault_plan.fail_next fault 1;
+  Alcotest.(check bool) "compensating delete retries into success" true
+    (Switch_api.compensating api (fun () ->
+         Switch_api.delete api ~switch:0 (entry 0 1)));
+  let op2 = hist_sum (op_hist ()) and rb2 = hist_sum (rb_hist ()) in
+  Alcotest.(check (float 0.0)) "compensation did not touch the op histogram"
+    op1 op2;
+  Alcotest.(check bool) "compensation backoff lands in the rollback histogram"
+    true (rb2 > rb1);
+  (* the regression this split pins: the aggregate forward view counts
+     forward backoff only, while the instance record keeps the total *)
+  Alcotest.(check (float 1e-9))
+    "global backoff_s = forward histogram growth only" (op2 -. op0)
+    ((Switch_api.global_stats ()).Switch_api.backoff_s -. g0);
+  Alcotest.(check (float 1e-9))
+    "instance backoff_s = forward + compensation"
+    ((op2 -. op0) +. (rb2 -. rb0))
+    (Switch_api.stats api).Switch_api.backoff_s;
+  (* --- wave level: an aborted wave's compensation stays out of the
+         forward series, and the wave metrics advance ----------------- *)
+  let waves0 =
+    Metrics.counter_value (Metrics.counter "sdnplace_update_waves_total")
+  and rolls0 =
+    Metrics.counter_value
+      (Metrics.counter "sdnplace_update_wave_rollbacks_total")
+  and wlat0 =
+    (Metrics.snapshot (Metrics.histogram "sdnplace_update_wave_seconds"))
+      .Metrics.count
+  in
+  let plan = build_small () in
+  let fault = Fault_plan.make ~seed:8 () in
+  let config = { Switch_api.default_config with Switch_api.max_retries = 1 } in
+  let api = Switch_api.create ~config ~fault (Array.copy (old_tables ())) in
+  let op3 = hist_sum (op_hist ()) and rb3 = hist_sum (rb_hist ()) in
+  let g3 = (Switch_api.global_stats ()).Switch_api.backoff_s in
+  let ops = ref 0 in
+  (* op 2 exhausts its retry (2 forced fails), then the compensation of
+     op 1 retries once (1 more forced fail) before succeeding *)
+  let on_op ~switch:_ ~op:_ =
+    incr ops;
+    if !ops = 2 then Fault_plan.fail_next fault 3
+  in
+  let r = Update.execute ~on_op ~api ~fault plan in
+  Alcotest.(check bool) "wave retry commits" true
+    (r.Update.outcome = Update.Committed);
+  Alcotest.(check int) "one wave rollback" 1 r.Update.wave_rollbacks;
+  let op4 = hist_sum (op_hist ()) and rb4 = hist_sum (rb_hist ()) in
+  Alcotest.(check bool) "aborted op's own backoff is forward" true (op4 > op3);
+  Alcotest.(check bool) "its compensation is rollback" true (rb4 > rb3);
+  Alcotest.(check (float 1e-9))
+    "wave rollback does not double-count into global backoff_s" (op4 -. op3)
+    ((Switch_api.global_stats ()).Switch_api.backoff_s -. g3);
+  Alcotest.(check int) "wave counter advanced by the plan's waves"
+    (waves0 + Array.length plan.Update.waves)
+    (Metrics.counter_value (Metrics.counter "sdnplace_update_waves_total"));
+  Alcotest.(check int) "rollback counter advanced" (rolls0 + 1)
+    (Metrics.counter_value
+       (Metrics.counter "sdnplace_update_wave_rollbacks_total"));
+  Alcotest.(check int) "wave latency observed per committed wave"
+    (wlat0 + Array.length plan.Update.waves)
+    (Metrics.snapshot (Metrics.histogram "sdnplace_update_wave_seconds"))
+      .Metrics.count
+
+let suite =
+  [
+    Alcotest.test_case "plan has the protocol's wave structure" `Quick
+      test_plan_structure;
+    Alcotest.test_case "clean execution lands exactly on the target" `Quick
+      test_clean_execute;
+    Alcotest.test_case "a failed op rolls the wave back and retries" `Quick
+      test_wave_rollback_then_commit;
+    Alcotest.test_case "an exhausted wave aborts to pre-update tables" `Quick
+      test_abort_restores_pre_update;
+    Alcotest.test_case "resume from any frontier converges byte-identical"
+      `Quick test_resume_from_frontier;
+    Alcotest.test_case "forward and compensation backoff split cleanly" `Quick
+      test_backoff_split_accounting;
+  ]
