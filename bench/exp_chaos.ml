@@ -354,31 +354,23 @@ let update_storm ~title ~seed ~events ~time_limit () =
     Printf.printf
       "crashes: %d (%d at wave kill points, %d resumed from a frontier)\n"
       !crashes !wave_crashes !resumed;
-    let json =
-      Printf.sprintf
-        "{\n\
-        \  \"bench\": \"update_storm\",\n\
-        \  \"seed\": %d,\n\
-        \  \"events\": %d,\n\
-        \  \"consistent_commits\": %d,\n\
-        \  \"legacy_fallbacks\": %d,\n\
-        \  \"waves\": %d,\n\
-        \  \"wave_rollbacks\": %d,\n\
-        \  \"crashes\": %d,\n\
-        \  \"wave_crashes\": %d,\n\
-        \  \"resumed\": %d,\n\
-        \  \"violations\": %d,\n\
-        \  \"deterministic\": %b,\n\
-        \  \"recovered_identical\": %b\n\
-         }\n"
-        seed events consistent_commits fallbacks total_waves rollbacks
-        !crashes !wave_crashes !resumed violations deterministic
-        (!mismatches = 0 && tables_equal)
-    in
-    let oc = open_out "BENCH_update.json" in
-    output_string oc json;
-    close_out oc;
-    Printf.printf "wrote BENCH_update.json\n";
+    Harness.write_json ~path:"BENCH_update.json"
+      (Harness.Obj
+         [
+           ("bench", Harness.Str "update_storm");
+           ("seed", Harness.Int seed);
+           ("events", Harness.Int events);
+           ("consistent_commits", Harness.Int consistent_commits);
+           ("legacy_fallbacks", Harness.Int fallbacks);
+           ("waves", Harness.Int total_waves);
+           ("wave_rollbacks", Harness.Int rollbacks);
+           ("crashes", Harness.Int !crashes);
+           ("wave_crashes", Harness.Int !wave_crashes);
+           ("resumed", Harness.Int !resumed);
+           ("violations", Harness.Int violations);
+           ("deterministic", Harness.Bool deterministic);
+           ("recovered_identical", Harness.Bool (!mismatches = 0 && tables_equal));
+         ]);
     let failed = ref false in
     if violations > 0 then begin
       Printf.printf "update-storm: %d consistency VIOLATIONS observed\n"

@@ -1,0 +1,292 @@
+(* Serving soak: a seeded multi-tenant load storm driven through the
+   sdnplace daemon — bursty submits (one flooding tenant included), a
+   fair scheduling tick per burst, operator chaos ops, and a kill plan
+   that crashes the daemon at WAL kill points mid-update and restarts it
+   from its journals.  Gates (CI serve-smoke lane): zero recovery
+   divergence, zero lost acked events, a nonzero shed rate with every
+   shed typed, and equal seeds giving byte-identical final tenant
+   signatures — with and without the crashes. *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float ((p *. float_of_int (n - 1)) +. 0.5)))
+
+type scenario = {
+  s_sig : string;
+  s_tenant_sigs : (int * string) list;
+  s_submitted : int;
+  s_accepted : int;
+  s_shed : int;
+  s_rejected : int;
+  s_outcomes : int;
+  s_applied : int;
+  s_quarantined : int;
+  s_lost : (int * int) list;
+  s_kills : int;
+  s_replayed : int;
+  s_reissued : int;
+  s_divergences : string list;
+  s_latencies : float array;  (* sorted, per scheduling cycle *)
+  s_wall : float;
+  s_rungs : (string * int) list;
+}
+
+(* One full client session against a fresh daemon over in-memory stores:
+   [requests] submits in bursts of [burst], one fair round per burst, a
+   graceful drain at the end.  [kills] counts kill-point callbacks
+   between simulated crashes; every crash abandons the daemon (unsynced
+   store bytes included) and restarts it from the journals with the same
+   seed.  Fully deterministic given equal arguments. *)
+let run_scenario ~config ~seed ~tenants ~requests ~burst ~kills () =
+  let nshards = config.Serve.Daemon.shards in
+  let backing =
+    Array.init nshards (fun _ ->
+        let journal, jmem = Journal.Store.memory () in
+        let intake, imem = Journal.Store.memory () in
+        ({ Serve.Shard.journal; intake }, jmem, imem))
+  in
+  let stores i =
+    let s, _, _ = backing.(i) in
+    s
+  in
+  let crash_stores () =
+    Array.iter
+      (fun (_, jmem, imem) ->
+        Journal.Store.crash jmem;
+        Journal.Store.crash imem)
+      backing
+  in
+  let kill_plan = ref kills in
+  let armed = ref None in
+  let arm () =
+    match !kill_plan with
+    | n :: rest ->
+      kill_plan := rest;
+      armed := Some n
+    | [] -> armed := None
+  in
+  arm ();
+  let kill _point =
+    match !armed with
+    | Some n when n <= 0 -> raise (Journal.Journaled.Killed "serve-soak")
+    | Some n -> armed := Some (n - 1)
+    | None -> ()
+  in
+  let gen = Serve.Loadgen.make ~tenants ~seed () in
+  let daemon = ref (Serve.Daemon.create ~config ~kill ~stores ()) in
+  let accepted = Hashtbl.create 256 in
+  let outcomes = Hashtbl.create 256 in
+  let rungs = Hashtbl.create 8 in
+  let submitted = ref 0 in
+  let shed = ref 0 in
+  let rejected = ref 0 in
+  let applied = ref 0 in
+  let quarantined = ref 0 in
+  let kills_done = ref 0 in
+  let replayed = ref 0 in
+  let reissued = ref 0 in
+  let divergences = ref [] in
+  let latencies = ref [] in
+  let record_reply = function
+    | Serve.Wire.Accepted { tenant; ticket } ->
+      Hashtbl.replace accepted (tenant, ticket) ()
+    | Serve.Wire.Rejected_overload _ -> incr shed
+    | Serve.Wire.Rejected _ -> incr rejected
+    | Serve.Wire.Applied { tenant; ticket; rung; _ } ->
+      if not (Hashtbl.mem outcomes (tenant, ticket)) then incr applied;
+      Hashtbl.replace outcomes (tenant, ticket) ();
+      let name = Runtime.Report.rung_name rung in
+      Hashtbl.replace rungs name
+        (1 + Option.value (Hashtbl.find_opt rungs name) ~default:0)
+    | Serve.Wire.Quarantined_ticket { tenant; ticket; _ } ->
+      if not (Hashtbl.mem outcomes (tenant, ticket)) then incr quarantined;
+      Hashtbl.replace outcomes (tenant, ticket) ()
+    | Serve.Wire.Drained _ | Serve.Wire.Stats_reply _ -> ()
+  in
+  let restart () =
+    incr kills_done;
+    crash_stores ();
+    arm ();
+    let s = Serve.Daemon.start ~config ~kill ~stores () in
+    replayed := !replayed + s.Serve.Daemon.replayed;
+    reissued := !reissued + s.Serve.Daemon.reissued;
+    divergences := !divergences @ s.Serve.Daemon.divergences;
+    daemon := s.Serve.Daemon.daemon
+  in
+  let (), wall =
+    Harness.wall (fun () ->
+        while !submitted < requests do
+          let t0 = Unix.gettimeofday () in
+          (* Admission never touches the journal, so the burst cannot
+             crash; acks are recorded before the tick that can. *)
+          for _ = 1 to min burst (requests - !submitted) do
+            let req = Serve.Loadgen.next gen in
+            incr submitted;
+            List.iter record_reply (Serve.Daemon.submit !daemon req)
+          done;
+          (match Serve.Daemon.tick !daemon with
+          | replies ->
+            List.iter record_reply replies;
+            latencies := (Unix.gettimeofday () -. t0) :: !latencies
+          | exception Journal.Journaled.Killed _ -> restart ())
+        done;
+        armed := None;
+        List.iter record_reply (Serve.Daemon.drain !daemon))
+  in
+  let lost =
+    Hashtbl.fold
+      (fun (tenant, ticket) () acc ->
+        if Serve.Daemon.resolved !daemon ~tenant ~ticket then acc
+        else (tenant, ticket) :: acc)
+      accepted []
+  in
+  {
+    s_sig = Serve.Daemon.signature !daemon;
+    s_tenant_sigs = Serve.Daemon.tenant_signatures !daemon;
+    s_submitted = !submitted;
+    s_accepted = Hashtbl.length accepted;
+    s_shed = !shed;
+    s_rejected = !rejected;
+    s_outcomes = Hashtbl.length outcomes;
+    s_applied = !applied;
+    s_quarantined = !quarantined;
+    s_lost = List.sort compare lost;
+    s_kills = !kills_done;
+    s_replayed = !replayed;
+    s_reissued = !reissued;
+    s_divergences = !divergences;
+    s_latencies =
+      (let a = Array.of_list !latencies in
+       Array.sort compare a;
+       a);
+    s_wall = wall;
+    s_rungs =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rungs []);
+  }
+
+let run ~title ~seed ~smoke () =
+  let requests = if smoke then 360 else 1200 in
+  let tenants = if smoke then 6 else 10 in
+  let burst = 4 in
+  let kills = if smoke then [ 500; 700 ] else [ 900; 1500; 2200 ] in
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.seed;
+      shards = (if smoke then 2 else 4);
+      queue_limit = 48;
+      tenant_queue_limit = 6;
+      round_slots = 6;
+      tenant_round_cap = 2;
+    }
+  in
+  Printf.printf
+    "\n== %s ==\n%d requests (burst %d), %d tenants (t0 floods), %d shards, \
+     seed %d, %d planned kills\n"
+    title requests burst tenants config.Serve.Daemon.shards seed
+    (List.length kills);
+  let scenario = run_scenario ~config ~seed ~tenants ~requests ~burst in
+  (* Reference storm, no crashes; repeated to pin determinism. *)
+  let quiet, t_quiet = Harness.wall (fun () -> scenario ~kills:[] ()) in
+  let quiet2 = scenario ~kills:[] () in
+  (* The gated storm: same stream, kill plan armed; repeated likewise. *)
+  let storm, t_storm = Harness.wall (fun () -> scenario ~kills ()) in
+  let storm2 = scenario ~kills () in
+  let deterministic =
+    quiet.s_sig = quiet2.s_sig && quiet.s_tenant_sigs = quiet2.s_tenant_sigs
+  in
+  let crash_deterministic =
+    storm.s_sig = storm2.s_sig && storm.s_tenant_sigs = storm2.s_tenant_sigs
+  in
+  let p50 = percentile storm.s_latencies 0.50 in
+  let p99 = percentile storm.s_latencies 0.99 in
+  let events_per_sec =
+    if storm.s_wall > 0.0 then float_of_int storm.s_outcomes /. storm.s_wall
+    else 0.0
+  in
+  let shed_rate =
+    float_of_int storm.s_shed /. float_of_int (max 1 storm.s_submitted)
+  in
+  let accounted =
+    storm.s_submitted = storm.s_accepted + storm.s_shed + storm.s_rejected
+  in
+  Printf.printf
+    "storm: %d accepted, %d shed (rate %.2f), %d rejected, %d outcomes (%d \
+     applied, %d quarantined tickets)\n"
+    storm.s_accepted storm.s_shed shed_rate storm.s_rejected storm.s_outcomes
+    storm.s_applied storm.s_quarantined;
+  Printf.printf "rungs: %s\n"
+    (String.concat ", "
+       (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) storm.s_rungs));
+  Printf.printf
+    "crashes: %d (journal replayed %d events, reissued %d acked tickets)\n"
+    storm.s_kills storm.s_replayed storm.s_reissued;
+  Printf.printf "throughput: %.0f events/s; cycle latency p50 %sms p99 %sms\n"
+    events_per_sec (Harness.ms p50) (Harness.ms p99);
+  Printf.printf "walls: quiet %ss storm %ss\n" (Harness.sec t_quiet)
+    (Harness.sec t_storm);
+  Harness.write_json ~path:"BENCH_serve.json"
+    (Harness.Obj
+       [
+         ("bench", Harness.Str "serve_soak");
+         ("seed", Harness.Int seed);
+         ("requests", Harness.Int storm.s_submitted);
+         ("tenants", Harness.Int tenants);
+         ("shards", Harness.Int config.Serve.Daemon.shards);
+         ("accepted", Harness.Int storm.s_accepted);
+         ("shed", Harness.Int storm.s_shed);
+         ("shed_rate", Harness.Float shed_rate);
+         ("rejected", Harness.Int storm.s_rejected);
+         ("applied", Harness.Int storm.s_applied);
+         ("quarantined_tickets", Harness.Int storm.s_quarantined);
+         ("kills", Harness.Int storm.s_kills);
+         ("replayed", Harness.Int storm.s_replayed);
+         ("reissued", Harness.Int storm.s_reissued);
+         ("lost_acks", Harness.Int (List.length storm.s_lost));
+         ( "divergences",
+           Harness.List
+             (List.map (fun d -> Harness.Str d) storm.s_divergences) );
+         ("deterministic", Harness.Bool deterministic);
+         ("crash_deterministic", Harness.Bool crash_deterministic);
+         ("all_sheds_typed", Harness.Bool accounted);
+         ("events_per_sec", Harness.Float events_per_sec);
+         ("p50_ms", Harness.Float (p50 *. 1000.0));
+         ("p99_ms", Harness.Float (p99 *. 1000.0));
+         ( "rungs",
+           Harness.Obj
+             (List.map (fun (r, n) -> (r, Harness.Int n)) storm.s_rungs) );
+       ]);
+  let failed = ref false in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.printf "serve-soak: %s\n" s;
+        failed := true)
+      fmt
+  in
+  if storm.s_kills < List.length kills then
+    fail "only %d of %d planned kills fired" storm.s_kills (List.length kills);
+  if quiet.s_lost <> [] || storm.s_lost <> [] then
+    fail "%d acked events LOST (quiet %d, storm %d)"
+      (List.length quiet.s_lost + List.length storm.s_lost)
+      (List.length quiet.s_lost) (List.length storm.s_lost);
+  if quiet.s_divergences <> [] || storm.s_divergences <> [] then begin
+    List.iter (Printf.printf "  divergence: %s\n")
+      (quiet.s_divergences @ storm.s_divergences);
+    fail "recovery DIVERGED"
+  end;
+  if storm.s_shed = 0 then fail "storm produced zero shed (bounds never bit)";
+  if not accounted then
+    fail "unaccounted submissions: %d <> %d + %d + %d" storm.s_submitted
+      storm.s_accepted storm.s_shed storm.s_rejected;
+  if not deterministic then
+    fail "equal seeds gave different final signatures (no-crash runs)";
+  if not crash_deterministic then
+    fail "equal seeds gave different final signatures (kill/restart runs)";
+  if !failed then exit 1;
+  Printf.printf
+    "serve-soak: %d acked events all resolved across %d crashes, shed typed \
+     and bounded, signatures reproducible\n"
+    storm.s_accepted storm.s_kills

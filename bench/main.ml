@@ -9,7 +9,8 @@
                                       [--metrics FILE] [--trace FILE]
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
-                                              portfolio|chaos|update|crash|lp] *)
+                                              portfolio|chaos|update|crash|
+                                              serve|lp] *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -18,7 +19,7 @@ let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 let no_micro = smoke || Array.exists (( = ) "--no-micro") Sys.argv
 
 (* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
-   table2 exp5 s1 b1 ablations portfolio chaos update crash);
+   table2 exp5 s1 b1 ablations portfolio chaos update crash serve);
    repeatable. *)
 let only =
   let rec collect i acc =
@@ -203,6 +204,15 @@ let run_experiments () =
       ~seed
       ~events:(if smoke then 25 else 60)
       ~time_limit ();
+
+  if wants "serve" then
+    Exp_serve.run
+      ~title:
+        (Printf.sprintf
+           "Experiment S2: serving soak (multi-tenant daemon under a flooding \
+            client and kill/restart crashes, seed %d)"
+           seed)
+      ~seed ~smoke ();
 
   if wants "lp" then begin
     (* Warm-start and iteration tallies come from telemetry counter

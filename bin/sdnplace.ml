@@ -6,6 +6,7 @@
      solve      run the Fig. 4 pipeline and print the placement
      verify     solve, then run the structural + semantic verifier
      events     replay a seeded churn/chaos event stream on the runtime
+     serve      run the multi-tenant placement daemon over framed messages
 *)
 
 open Cmdliner
@@ -16,6 +17,7 @@ let exit_violations = 1
 let exit_infeasible = 10
 let exit_deadline = 11
 let exit_internal = 12
+let exit_overload = 13
 
 let status_exit = function
   | `Optimal -> Cmd.Exit.ok
@@ -33,7 +35,14 @@ let exits =
   :: Cmd.Exit.info exit_deadline
        ~doc:"when the time budget expired before a definitive answer (a \
              best-effort placement may still have been printed)."
-  :: Cmd.Exit.info exit_internal ~doc:"on an internal error."
+  :: Cmd.Exit.info exit_internal
+       ~doc:
+         "on an internal error, or when $(b,serve) recovery found a state \
+          divergence."
+  :: Cmd.Exit.info exit_overload
+       ~doc:
+         "when $(b,serve --fail-on-shed) shed load: the session drained \
+          cleanly but at least one event was rejected with a typed overload."
   :: Cmd.Exit.defaults
 
 let protect body =
@@ -724,10 +733,189 @@ let events_cmd =
       $ fail_rate $ timeout_rate $ deadline $ rules $ update_mode $ journal
       $ resume)
 
+(* ---------------- serve ---------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let serve_stores dir i =
+  match dir with
+  | None ->
+    let journal, _ = Journal.Store.memory () in
+    let intake, _ = Journal.Store.memory () in
+    { Serve.Shard.journal; intake }
+  | Some dir ->
+    let shard_dir = Filename.concat dir (Printf.sprintf "shard-%d" i) in
+    mkdir_p shard_dir;
+    {
+      Serve.Shard.journal =
+        Journal.Store.file ~dir:(Filename.concat shard_dir "journal");
+      intake = Journal.Store.file ~dir:(Filename.concat shard_dir "intake");
+    }
+
+let serve_session daemon ic oc =
+  let session = Serve.Daemon.serve_channels daemon ic oc in
+  Printf.eprintf "sdnplace: session over: %d requests, %s\n%!"
+    session.Serve.Daemon.requests
+    (if session.Serve.Daemon.drained then "drained on request"
+     else "drained on disconnect");
+  session
+
+let serve_run metrics trace dir socket seed shards queue_limit
+    tenant_queue_limit capacity fail_on_shed =
+  with_telemetry metrics trace @@ fun () ->
+  protect @@ fun () ->
+  let config =
+    {
+      Serve.Daemon.default_config with
+      Serve.Daemon.seed;
+      shards;
+      queue_limit;
+      tenant_queue_limit;
+      shard =
+        { Serve.Shard.default_config with Serve.Shard.capacity };
+    }
+  in
+  let started = Serve.Daemon.start ~config ~stores:(serve_stores dir) () in
+  if started.Serve.Daemon.recovered_shards > 0 then
+    Printf.eprintf
+      "sdnplace: recovered %d/%d shards (%d events replayed, %d acked \
+       tickets re-queued)\n%!"
+      started.Serve.Daemon.recovered_shards shards
+      started.Serve.Daemon.replayed started.Serve.Daemon.reissued;
+  match started.Serve.Daemon.divergences with
+  | _ :: _ as ds ->
+    List.iter (Printf.eprintf "sdnplace: recovery divergence: %s\n%!") ds;
+    exit_internal
+  | [] ->
+    let daemon = started.Serve.Daemon.daemon in
+    (match socket with
+    | None -> ignore (serve_session daemon stdin stdout)
+    | Some path ->
+      if Sys.file_exists path then Sys.remove path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 1;
+          Printf.eprintf "sdnplace: listening on %s\n%!" path;
+          let client, _ = Unix.accept fd in
+          let ic = Unix.in_channel_of_descr client in
+          let oc = Unix.out_channel_of_descr client in
+          ignore (serve_session daemon ic oc);
+          try Unix.close client with Unix.Unix_error _ -> ()));
+    (match Serve.Daemon.stats_reply daemon with
+    | Serve.Wire.Stats_reply { tenants; accepted; applied; quarantined; shed;
+                               pending } ->
+      Printf.eprintf
+        "sdnplace: %d tenants, %d accepted (%d applied, %d quarantined \
+         tickets), %d shed, %d pending\n%!"
+        tenants accepted applied quarantined shed pending
+    | _ -> ());
+    if fail_on_shed && Serve.Daemon.shed daemon > 0 then exit_overload else 0
+
+let serve_cmd =
+  let dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "State directory: one journal + intake store pair per shard \
+             under $(docv)/shard-N/.  A restart over the same directory \
+             crash-resumes every shard (events replayed from the \
+             write-ahead journal, acked-but-unprocessed tickets re-queued) \
+             before accepting traffic.  Without it state is in-memory and \
+             dies with the process.")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix domain socket and serve one client session; \
+             default is one session over stdin/stdout.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Translation seed (ingress allocation, path choice, policy \
+             synthesis).  Must match across restarts of the same $(b,--dir); \
+             equal seeds and equal request streams give byte-identical \
+             final state.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Independently journaled tenant regions (tenant t lands on \
+             shard t mod $(docv)).")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Daemon-wide pending-event cap; events over it are shed with a \
+             typed global overload rejection.")
+  in
+  let tenant_queue_limit =
+    Arg.(
+      value & opt int 8
+      & info [ "tenant-queue-limit" ] ~docv:"N"
+          ~doc:
+            "Per-tenant pending-event cap — the admission half of the \
+             bulkhead that keeps a flooding tenant from starving the rest.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 30
+      & info [ "capacity" ] ~docv:"C"
+          ~doc:"Per-switch ACL capacity of each shard's fat-tree.")
+  in
+  let fail_on_shed =
+    Arg.(
+      value & flag
+      & info [ "fail-on-shed" ]
+          ~doc:
+            "Exit 13 after a clean drain if any event was shed — for \
+             harnesses that treat overload as a failure.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the overload-safe, crash-resumable multi-tenant placement \
+          daemon.  Requests and replies are length-prefixed CRC-framed \
+          marshaled messages (the same framing as the write-ahead journal) \
+          over stdin/stdout or $(b,--socket).  An event is acked only after \
+          its intake record is fsynced, so an ack survives any crash; \
+          per-tenant circuit breakers pin misbehaving tenants to the cheap \
+          greedy rung; the session ends with a graceful drain (on an \
+          explicit $(i,Drain) request or on disconnect) that processes \
+          every acked event and snapshots every shard.  Exit codes: 0 \
+          clean drain, 12 recovery divergence, 13 shed under \
+          $(b,--fail-on-shed).")
+    Term.(
+      const serve_run $ metrics_arg $ trace_arg $ dir $ socket $ seed $ shards
+      $ queue_limit $ tenant_queue_limit $ capacity $ fail_on_shed)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "sdnplace" ~version:"1.0.0" ~exits
        ~doc:"ILP-based distributed firewall rule placement for SDNs (DSN'14).")
-    [ generate_cmd; info_cmd; solve_cmd; verify_cmd; balance_cmd; events_cmd ]
+    [
+      generate_cmd; info_cmd; solve_cmd; verify_cmd; balance_cmd; events_cmd;
+      serve_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

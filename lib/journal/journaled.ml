@@ -162,11 +162,11 @@ let create ?config ?(journal = default_config) ?fault ?now ?(kill = fun _ -> ())
   snapshot_now t;
   t
 
-let handle ?client t event =
+let handle ?client ?rungs t event =
   Telemetry.Trace.with_span "journal.event" @@ fun () ->
   t.kill Before_begin;
   let seq = t.seq + 1 in
-  append_record t (Wal.Ev_begin { seq; event; client });
+  append_record t (Wal.Ev_begin { seq; event; client; rungs });
   t.kill After_begin;
   let tx =
     {
@@ -184,7 +184,7 @@ let handle ?client t event =
           append_record t (Wal.Wave_commit { seq; wave; frontier }));
     }
   in
-  let report = Runtime.Engine.handle ~tx t.eng event in
+  let report = Runtime.Engine.handle ~tx ?rungs t.eng event in
   t.kill Before_commit;
   append_record t
     (Wal.Ev_commit { seq; signature = Runtime.Report.signature report });
@@ -205,6 +205,7 @@ let run ?client t events =
 let engine t = t.eng
 let seq t = t.seq
 let client t = t.client
+let set_client t blob = t.client <- Some blob
 
 (* ------------------------------------------------------------------ *)
 (* Recovery                                                            *)
@@ -230,6 +231,7 @@ type group = {
   g_seq : int;
   g_event : Runtime.Event.t;
   g_client : string option;
+  g_rungs : Runtime.Report.rung list option;
   mutable g_intent : (Netsim.entry list array * Netsim.entry list array) option;
   mutable g_commit : bool;
   mutable g_waves : (int * Runtime.Update.frontier) list;
@@ -243,10 +245,10 @@ let group_records ~snap_seq records =
     (fun r ->
       if Wal.seq_of r > snap_seq then
         match r with
-        | Wal.Ev_begin { seq; event; client } ->
+        | Wal.Ev_begin { seq; event; client; rungs } ->
           let g =
-            { g_seq = seq; g_event = event; g_client = client; g_intent = None;
-              g_commit = false; g_waves = []; g_sig = None }
+            { g_seq = seq; g_event = event; g_client = client; g_rungs = rungs;
+              g_intent = None; g_commit = false; g_waves = []; g_sig = None }
           in
           groups := g :: !groups;
           current := Some g
@@ -282,7 +284,8 @@ let read_snapshot store =
       | s -> Error (Printf.sprintf "unsupported snapshot version %d" s.snap_version)
       | exception _ -> Error "corrupt snapshot"))
 
-let recover ?config ?(journal = default_config) ?now ?(kill = fun _ -> ()) ~store () =
+let recover ?config ?(journal = default_config) ?now ?(kill = fun _ -> ())
+    ?(resnap = true) ~store () =
   match read_snapshot store with
   | Error _ as e -> e
   | Ok snap ->
@@ -304,7 +307,7 @@ let recover ?config ?(journal = default_config) ?now ?(kill = fun _ -> ()) ~stor
         | Some logged ->
           (* Fully absorbed before the crash: re-execute (deterministic)
              and cross-check against the logged signature. *)
-          let report = Runtime.Engine.handle eng g.g_event in
+          let report = Runtime.Engine.handle ?rungs:g.g_rungs eng g.g_event in
           let s = Runtime.Report.signature report in
           if s <> logged then
             diverge "event %d: replay signature %s != logged %s" g.g_seq s logged;
@@ -330,7 +333,7 @@ let recover ?config ?(journal = default_config) ?now ?(kill = fun _ -> ()) ~stor
             | Some _, false, (_, frontier) :: _ -> Some frontier
             | _ -> None
           in
-          let report = Runtime.Engine.handle ?resume eng g.g_event in
+          let report = Runtime.Engine.handle ?resume ?rungs:g.g_rungs eng g.g_event in
           (match (g.g_intent, resume) with
           | Some (_, redo), _ when g.g_commit ->
             resolution := Some (Rolled_forward g.g_seq);
@@ -350,8 +353,11 @@ let recover ?config ?(journal = default_config) ?now ?(kill = fun _ -> ()) ~stor
         kill }
     in
     (* Re-snapshot and compact so recovering twice in a row is a no-op
-       on an empty log. *)
-    snapshot_now t;
+       on an empty log.  A caller whose client blob still needs
+       patching from the replayed reports (see the mli) passes
+       [~resnap:false], finishes the patch, and snapshots itself — the
+       intact log keeps a crash during that window recoverable. *)
+    if resnap then snapshot_now t;
     Telemetry.Metrics.incr m_recoveries;
     Telemetry.Metrics.add m_replayed (List.length !replayed);
     Telemetry.Metrics.add m_dropped dropped_bytes;

@@ -89,7 +89,12 @@ val create :
     immediately persist snapshot zero (so {!recover} works even before
     the first event).  Any existing journal in [store] is overwritten. *)
 
-val handle : ?client:string -> t -> Runtime.Event.t -> Runtime.Report.t
+val handle :
+  ?client:string ->
+  ?rungs:Runtime.Report.rung list ->
+  t ->
+  Runtime.Event.t ->
+  Runtime.Report.t
 (** Absorb one event through the write-ahead protocol.  [client] is an
     opaque blob persisted in the [Ev_begin] record and in snapshots —
     pass the {e post-event} state of whatever generates your events
@@ -97,7 +102,10 @@ val handle : ?client:string -> t -> Runtime.Event.t -> Runtime.Report.t
     that a resumed run continues the stream exactly where the crash cut
     it: if the crash lands before this event's begin record, the
     restored blob regenerates this same event; after it, the blob
-    generates the next one. *)
+    generates the next one.  [rungs] restricts the solve ladder for this
+    event (see {!Runtime.Engine.handle}); it is persisted in the
+    [Ev_begin] record so recovery re-handles the event under the same
+    restriction. *)
 
 val run : ?client:(unit -> string) -> t -> Runtime.Event.t list -> Runtime.Report.t list
 (** {!handle} in sequence; [client] is sampled after each event. *)
@@ -107,6 +115,15 @@ val seq : t -> int  (** events durably absorbed so far *)
 
 val client : t -> string option
 (** The most recent client blob (restored by {!recover}). *)
+
+val set_client : t -> string -> unit
+(** Replace the client blob the {e next} snapshot will persist, without
+    writing anything.  For callers whose client state evolves {e after}
+    an event's report is in hand (the serving layer's circuit breaker
+    steps on the report's outcome): the blob passed to {!handle} rides
+    the [Ev_begin] record for replay, and the post-report blob installed
+    here is what a snapshot should freeze.  Recovery then patches the
+    at-most-one missing step from the last replayed report. *)
 
 val snapshot_now : t -> unit
 (** Force a snapshot and compact the log.  The snapshot is written
@@ -154,6 +171,7 @@ val recover :
   ?journal:config ->
   ?now:(unit -> float) ->
   ?kill:(kill_point -> unit) ->
+  ?resnap:bool ->
   store:Store.t ->
   unit ->
   (recovery, string) result
@@ -162,5 +180,10 @@ val recover :
     solver options contain closures and host-specific knobs).  On
     success the store has been re-snapshotted and compacted, so recovery
     is idempotent: recovering again immediately yields the same state
-    with an empty log.  [Error] is returned only when no usable
-    snapshot exists (missing or corrupt beyond its checksum). *)
+    with an empty log.  [resnap:false] skips that final snapshot and
+    leaves the log intact — for callers that must first patch their
+    client blob from the replayed reports (see {!set_client}) and then
+    call {!snapshot_now} themselves; a crash inside that window replays
+    the same log again, so nothing is lost.  [Error] is returned only
+    when no usable snapshot exists (missing or corrupt beyond its
+    checksum). *)

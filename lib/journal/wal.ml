@@ -1,5 +1,10 @@
 type record =
-  | Ev_begin of { seq : int; event : Runtime.Event.t; client : string option }
+  | Ev_begin of {
+      seq : int;
+      event : Runtime.Event.t;
+      client : string option;
+      rungs : Runtime.Report.rung list option;
+    }
   | Tx_intent of {
       seq : int;
       undo : Netsim.entry list array;
@@ -68,6 +73,22 @@ let unframe s =
   | _ -> None
 
 let encode r = frame (Marshal.to_string r [])
+
+(* The generic frame walk: the longest prefix of whole, checksummed
+   frames.  The serving layer's intake logs and wire protocol share this
+   framing, so the tear-tolerant scan lives here once. *)
+let scan_payloads log =
+  let payloads = ref [] in
+  let pos = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match unframe_at log !pos with
+    | None -> stop := true
+    | Some payload ->
+      payloads := payload :: !payloads;
+      pos := !pos + header_len + String.length payload
+  done;
+  (List.rev !payloads, !pos)
 
 let scan log =
   let records = ref [] in

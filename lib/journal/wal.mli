@@ -18,10 +18,18 @@
     scratch. *)
 
 type record =
-  | Ev_begin of { seq : int; event : Runtime.Event.t; client : string option }
+  | Ev_begin of {
+      seq : int;
+      event : Runtime.Event.t;
+      client : string option;
+      rungs : Runtime.Report.rung list option;
+    }
       (** logged (and fsynced) before the engine sees the event;
           [client] is an opaque blob the caller wants restored alongside
-          (e.g. the churn generator's state) *)
+          (e.g. the churn generator's state), [rungs] the per-event
+          ladder restriction the caller handled it under ([None] = the
+          engine config's rungs) — replay must re-handle the event with
+          the same restriction to converge on the same report *)
   | Tx_intent of {
       seq : int;
       undo : Netsim.entry list array;  (** pre-transaction tables *)
@@ -60,3 +68,9 @@ val scan : string -> record list * int
     whatever the bytes are — at a short header, an implausible length, a
     CRC mismatch, or a payload [Marshal] rejects; the remainder is a
     torn tail to truncate. *)
+
+val scan_payloads : string -> string list * int
+(** The generic frame walk under {!scan}: the longest prefix of whole,
+    checksummed frames, as raw payloads plus the bytes they span.  The
+    serving layer's intake logs and wire protocol reuse the WAL framing,
+    so the tear-tolerant scan lives here once. *)

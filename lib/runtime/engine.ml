@@ -520,12 +520,12 @@ let status_name = function
 (* Walk the solve rungs of the ladder in order; [None] means every
    enabled rung failed and the caller must fail closed.  Each rung is
    exception-proof: the runtime degrades, it does not crash. *)
-let solve_target t goal ~t0 =
+let solve_target t goal ~rungs ~t0 =
   if goal.sub_policies = [] then Some (Report.Noop, "-", stripped_base t goal)
   else begin
     let deadline = t0 +. t.config.deadline_s in
     let opts = t.config.solve_options in
-    let enabled r = List.mem r t.config.rungs in
+    let enabled r = List.mem r rungs in
     let incremental () =
       if not (enabled Report.Incremental) then None
       else
@@ -733,8 +733,9 @@ type tx_observer = {
   on_wave_commit : wave:int -> frontier:Update.frontier -> unit;
 }
 
-let handle ?tx ?resume t event =
+let handle ?tx ?resume ?rungs t event =
   Telemetry.Trace.with_span "runtime.event" @@ fun () ->
+  let rungs = Option.value rungs ~default:t.config.rungs in
   (match Telemetry.Trace.current () with
   | Some sp -> Telemetry.Trace.add_attr sp "event" (Event.describe event)
   | None -> ());
@@ -781,7 +782,7 @@ let handle ?tx ?resume t event =
   | Ok goal -> (
     match
       Telemetry.Trace.with_span "runtime.ladder" (fun () ->
-          solve_target t goal ~t0)
+          solve_target t goal ~rungs ~t0)
     with
     | None ->
       (* Every solve rung failed: fail closed. *)

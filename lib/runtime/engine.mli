@@ -139,7 +139,13 @@ type tx_observer = {
     records and to place mid-apply kill points.  Exceptions raised by
     the hooks propagate out of {!handle} (a simulated crash). *)
 
-val handle : ?tx:tx_observer -> ?resume:Update.frontier -> t -> Event.t -> Report.t
+val handle :
+  ?tx:tx_observer ->
+  ?resume:Update.frontier ->
+  ?rungs:Report.rung list ->
+  t ->
+  Event.t ->
+  Report.t
 (** Absorb one event.  Never raises on malformed events (they are
     rejected in the report); never leaves the tables torn.
 
@@ -147,7 +153,14 @@ val handle : ?tx:tx_observer -> ?resume:Update.frontier -> t -> Event.t -> Repor
     event is re-planned from the same pre-event engine state, and the
     update's execution restores the frontier (tables, fault-plan state,
     api stats), re-proves its consistency and carries on from the next
-    wave — converging byte-identically to an uncrashed run. *)
+    wave — converging byte-identically to an uncrashed run.
+
+    [rungs] restricts the {e solve} rungs of the ladder for this event
+    only (quarantine stays available as the floor), overriding the
+    config's rung list — the serving layer's circuit breaker uses it to
+    pin a misbehaving tenant to the cheap greedy/fail-closed rungs.  A
+    replayed event must be re-handled with the same restriction to
+    reproduce the same report (the journal persists it per event). *)
 
 val run : ?tx:tx_observer -> t -> Event.t list -> Report.t list
 (** [handle] in sequence, reports in event order. *)

@@ -1,0 +1,282 @@
+type config = {
+  shards : int;
+  queue_limit : int;
+  tenant_queue_limit : int;
+  round_slots : int;
+  tenant_round_cap : int;
+  tenant_series_cap : int;
+  shard : Shard.config;
+  seed : int;
+}
+
+let default_config =
+  {
+    shards = 4;
+    queue_limit = 64;
+    tenant_queue_limit = 8;
+    round_slots = 8;
+    tenant_round_cap = 2;
+    tenant_series_cap = 32;
+    shard = Shard.default_config;
+    seed = 1;
+  }
+
+let m_accepted =
+  Telemetry.Metrics.counter ~help:"events admitted (durably acked)"
+    "sdnplace_serve_accepted_total"
+
+let m_applied =
+  Telemetry.Metrics.counter ~help:"acked events applied to the network"
+    "sdnplace_serve_applied_total"
+
+let m_quarantined =
+  Telemetry.Metrics.counter ~help:"acked events resolved as quarantined tickets"
+    "sdnplace_serve_quarantined_tickets_total"
+
+let m_shed name =
+  Telemetry.Metrics.counter ~help:"overload rejections by scope"
+    ~labels:[ ("scope", name) ]
+    "sdnplace_serve_shed_total"
+
+let () = List.iter (fun s -> ignore (m_shed s)) [ "global"; "tenant" ]
+
+(* Per-tenant traffic attribution: an unbounded label space by nature,
+   which is exactly what the registry's label cap exists for — tenants
+   past the cap aggregate into the _overflow series instead of growing
+   the registry without bound. *)
+let m_tenant_events tenant =
+  Telemetry.Metrics.counter ~help:"admitted events by tenant"
+    ~labels:[ ("tenant", string_of_int tenant) ]
+    "sdnplace_serve_tenant_events_total"
+
+type t = {
+  config : config;
+  shards : Shard.t array;
+  pool : Portfolio.Pool.t;
+  mutable draining : bool;
+  mutable accepted : int;
+  mutable applied : int;
+  mutable quarantined : int;
+  mutable shed : int;
+}
+
+let make_pool config =
+  Portfolio.Pool.create ~slots:(max 1 config.round_slots)
+    ~per_key_cap:(max 1 config.tenant_round_cap)
+
+let create ?(config = default_config) ?kill ~stores () =
+  Telemetry.Metrics.set_label_cap (Some config.tenant_series_cap);
+  let shards =
+    Array.init config.shards (fun i ->
+        Shard.create ~config:config.shard ?kill ~stores:(stores i)
+          ~seed:config.seed ~id:i ())
+  in
+  {
+    config;
+    shards;
+    pool = make_pool config;
+    draining = false;
+    accepted = 0;
+    applied = 0;
+    quarantined = 0;
+    shed = 0;
+  }
+
+type started = {
+  daemon : t;
+  recovered_shards : int;
+  replayed : int;
+  reissued : int;
+  divergences : string list;
+}
+
+let start ?(config = default_config) ?kill ~stores () =
+  Telemetry.Metrics.set_label_cap (Some config.tenant_series_cap);
+  let recovered_shards = ref 0 in
+  let replayed = ref 0 in
+  let reissued = ref 0 in
+  let divergences = ref [] in
+  let shards =
+    Array.init config.shards (fun i ->
+        let st = stores i in
+        match
+          Shard.recover ~config:config.shard ?kill ~stores:st ~seed:config.seed
+            ~id:i ()
+        with
+        | Ok r ->
+          incr recovered_shards;
+          replayed := !replayed + r.Shard.replayed;
+          reissued := !reissued + r.Shard.reissued;
+          divergences := !divergences @ r.Shard.divergences;
+          r.Shard.shard
+        | Error _ ->
+          Shard.create ~config:config.shard ?kill ~stores:st ~seed:config.seed
+            ~id:i ())
+  in
+  let daemon =
+    {
+      config;
+      shards;
+      pool = make_pool config;
+      draining = false;
+      accepted = 0;
+      applied = 0;
+      quarantined = 0;
+      shed = 0;
+    }
+  in
+  {
+    daemon;
+    recovered_shards = !recovered_shards;
+    replayed = !replayed;
+    reissued = !reissued;
+    divergences = !divergences;
+  }
+
+let shard_of t tenant = t.shards.(tenant mod Array.length t.shards)
+
+let pending t = Array.fold_left (fun acc s -> acc + Shard.pending s) 0 t.shards
+
+let resolved t ~tenant ~ticket = Shard.resolved (shard_of t tenant) ~ticket
+
+let shed t = t.shed
+
+let draining t = t.draining
+
+let known_tenants t =
+  List.sort_uniq compare
+    (Array.to_list t.shards |> List.concat_map Shard.tenants)
+
+let stats_reply t =
+  Wire.Stats_reply
+    {
+      tenants = List.length (known_tenants t);
+      accepted = t.accepted;
+      applied = t.applied;
+      quarantined = t.quarantined;
+      shed = t.shed;
+      pending = pending t;
+    }
+
+let reply_of_processed (p : Shard.processed) =
+  match p.Shard.p_outcome with
+  | Shard.Applied { rung; verified; quarantined } ->
+    Wire.Applied
+      { tenant = p.Shard.p_tenant; ticket = p.Shard.p_ticket; rung; verified;
+        quarantined }
+  | Shard.Quarantined { reason } ->
+    Wire.Quarantined_ticket
+      { tenant = p.Shard.p_tenant; ticket = p.Shard.p_ticket; reason }
+
+let account t (p : Shard.processed) =
+  (match p.Shard.p_outcome with
+  | Shard.Applied _ ->
+    t.applied <- t.applied + 1;
+    Telemetry.Metrics.incr m_applied
+  | Shard.Quarantined _ ->
+    t.quarantined <- t.quarantined + 1;
+    Telemetry.Metrics.incr m_quarantined);
+  reply_of_processed p
+
+let tick t =
+  Portfolio.Pool.reset t.pool;
+  Array.to_list t.shards
+  |> List.concat_map (fun s -> Shard.process_round s ~pool:t.pool)
+  |> List.map (account t)
+
+let drain t =
+  t.draining <- true;
+  let outcomes =
+    Array.to_list t.shards
+    |> List.concat_map (fun s -> List.map (account t) (Shard.drain s))
+  in
+  outcomes @ [ Wire.Drained { processed = t.applied + t.quarantined } ]
+
+let submit t request =
+  match request with
+  | Wire.Drain -> drain t
+  | Wire.Stats -> [ stats_reply t ]
+  | Wire.Submit { tenant; op } ->
+    if t.draining then [ Wire.Rejected { reason = "draining" } ]
+    else if tenant < 0 then [ Wire.Rejected { reason = "negative tenant id" } ]
+    else begin
+      let queued = pending t in
+      let s = shard_of t tenant in
+      let tenant_queued = Shard.pending_for s ~tenant in
+      if queued >= t.config.queue_limit then begin
+        t.shed <- t.shed + 1;
+        Telemetry.Metrics.incr (m_shed "global");
+        [
+          Wire.Rejected_overload
+            { tenant; scope = Wire.Global; queued; limit = t.config.queue_limit };
+        ]
+      end
+      else if tenant_queued >= t.config.tenant_queue_limit then begin
+        t.shed <- t.shed + 1;
+        Telemetry.Metrics.incr (m_shed "tenant");
+        [
+          Wire.Rejected_overload
+            {
+              tenant;
+              scope = Wire.Tenant;
+              queued = tenant_queued;
+              limit = t.config.tenant_queue_limit;
+            };
+        ]
+      end
+      else begin
+        let ticket = Shard.admit s ~tenant ~op in
+        t.accepted <- t.accepted + 1;
+        Telemetry.Metrics.incr m_accepted;
+        Telemetry.Metrics.incr (m_tenant_events tenant);
+        [ Wire.Accepted { tenant; ticket } ]
+      end
+    end
+
+let signature t =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|" (Array.to_list (Array.map Shard.signature t.shards))))
+
+let shard_signatures t = Array.to_list (Array.map Shard.signature t.shards)
+
+let tenant_signatures t =
+  List.map
+    (fun tenant ->
+      (tenant, Shard.tenant_signature (shard_of t tenant) ~tenant))
+    (known_tenants t)
+
+type session = { drained : bool; requests : int }
+
+let serve_channels t ic oc =
+  let write reply =
+    output_string oc (Wire.encode_reply reply);
+    flush oc
+  in
+  let requests = ref 0 in
+  let rec loop () =
+    match Wire.read_message ic with
+    | None ->
+      (* EOF or a torn frame: the stream is gone, but every acked event
+         must still land — same graceful drain as an explicit Drain,
+         with nobody left to read the replies. *)
+      if not t.draining then ignore (drain t);
+      { drained = false; requests = !requests }
+    | Some payload -> (
+      incr requests;
+      match (Marshal.from_string payload 0 : Wire.request) with
+      | exception _ ->
+        write (Wire.Rejected { reason = "malformed request" });
+        loop ()
+      | Wire.Drain ->
+        List.iter write (drain t);
+        { drained = true; requests = !requests }
+      | req ->
+        List.iter write (submit t req);
+        (* One fair round after every request keeps outcome latency
+           bounded by the request rate and the whole session
+           deterministic. *)
+        List.iter write (tick t);
+        loop ())
+  in
+  loop ()

@@ -1,0 +1,119 @@
+(** The multi-tenant placement daemon: admission control, fair
+    scheduling and graceful drain over a set of {!Shard}s.
+
+    Tenants are partitioned onto shards by [tenant mod shards]; each
+    shard is an independently journaled region, so one region's crash
+    recovery or quarantine storm never touches another's state.  The
+    daemon in front enforces the {b robustness contract}:
+
+    - {e bounded admission}: a global pending cap and a per-tenant cap;
+      an event over either bound gets a typed
+      {!Wire.Rejected_overload} naming the bound — acked events are
+      never shed, shed events are never silent;
+    - {e bulkhead scheduling}: each round runs through a
+      {!Portfolio.Pool} with global slots and a per-tenant cap, so a
+      flooding tenant saturates its own allowance while others keep
+      their latency;
+    - {e graceful drain}: stop admitting, process everything acked,
+      snapshot every shard;
+    - {e crash-resume}: {!start} recovers every shard that has a durable
+      snapshot and re-queues acked-but-unprocessed tickets.
+
+    The daemon is single-threaded and clock-free: its entire behaviour
+    is a deterministic function of the request sequence and the seed,
+    which is what the equal-seeds/equal-signatures bench gate checks. *)
+
+type config = {
+  shards : int;
+  queue_limit : int;  (** daemon-wide pending-ticket cap *)
+  tenant_queue_limit : int;  (** per-tenant pending-ticket cap *)
+  round_slots : int;  (** tickets processed per scheduling round *)
+  tenant_round_cap : int;  (** per-tenant tickets per round *)
+  tenant_series_cap : int;
+      (** bound on per-tenant labeled telemetry series
+          ({!Telemetry.Metrics.set_label_cap}) *)
+  shard : Shard.config;
+  seed : int;
+}
+
+val default_config : config
+(** 4 shards, queue 64 (8/tenant), 8 slots per round (2/tenant),
+    32 labeled tenant series. *)
+
+type t
+
+val create :
+  ?config:config ->
+  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  stores:(int -> Shard.stores) ->
+  unit ->
+  t
+(** Boot fresh shards ([stores i] supplies shard [i]'s journal and
+    intake stores — memory stores in tests, per-shard directories under
+    the CLI).  [kill] is threaded to every shard's journal (the bench's
+    mid-update crash lever). *)
+
+type started = {
+  daemon : t;
+  recovered_shards : int;  (** shards rebuilt from a durable snapshot *)
+  replayed : int;  (** journaled events re-executed across shards *)
+  reissued : int;  (** acked tickets re-queued across shards *)
+  divergences : string list;  (** recovery cross-check failures *)
+}
+
+val start :
+  ?config:config ->
+  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  stores:(int -> Shard.stores) ->
+  unit ->
+  started
+(** {!create} or crash-resume, per shard: a shard with a durable
+    snapshot is {!Shard.recover}ed, one without is created fresh.
+    [config.seed] must match the crashed process. *)
+
+val submit : t -> Wire.request -> Wire.reply list
+(** Handle one request.  [Submit] returns exactly one admission reply
+    ([Accepted] / [Rejected_overload] / [Rejected]); [Drain] processes
+    everything and returns [Drained]; [Stats] returns [Stats_reply].
+    Processing outcomes for accepted events arrive from {!tick}. *)
+
+val tick : t -> Wire.reply list
+(** Run one fair scheduling round across all shards and return the
+    outcome replies ([Applied] / [Quarantined_ticket]) it produced. *)
+
+val drain : t -> Wire.reply list
+(** Stop admitting, process every pending ticket, snapshot every shard.
+    Returns the outcome replies followed by [Drained]. *)
+
+val pending : t -> int
+
+val resolved : t -> tenant:int -> ticket:int -> bool
+(** The acked ticket has been processed (applied or deterministically
+    quarantined) — the no-lost-acks invariant's probe. *)
+
+val shed : t -> int
+(** Overload rejections issued so far (all of them typed). *)
+
+val draining : t -> bool
+
+val stats_reply : t -> Wire.reply
+
+val signature : t -> string
+(** Digest over every shard's {!Shard.signature} — the whole daemon's
+    observable state. *)
+
+val tenant_signatures : t -> (int * string) list
+(** Every known tenant's {!Shard.tenant_signature}, ascending. *)
+
+val shard_signatures : t -> string list
+(** Per-shard signatures, shard order. *)
+
+type session = { drained : bool; requests : int }
+
+val serve_channels : t -> in_channel -> out_channel -> session
+(** Serve one framed-message session: read {!Wire.request}s, write the
+    replies (admission reply first, then any outcomes the follow-up
+    scheduling round produced).  Ends on [Drain] (drained true) or on
+    EOF / a torn frame, which triggers the same graceful drain (drained
+    false).  Either way every acked event has been processed and every
+    shard snapshotted when this returns. *)

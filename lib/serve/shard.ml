@@ -1,0 +1,543 @@
+type config = {
+  capacity : int;
+  trip_after : int;
+  cooldown : int;
+  snapshot_every : int;
+  engine : Runtime.Engine.config;
+}
+
+let default_config =
+  {
+    capacity = 30;
+    trip_after = 3;
+    cooldown = 4;
+    snapshot_every = 8;
+    engine =
+      { Runtime.Engine.default_config with Runtime.Engine.deadline_s = 5.0 };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-tenant circuit breaker                                          *)
+
+type breaker =
+  | Closed of { strikes : int }
+  | Open of { cooldown_left : int }
+  | Half_open
+
+let breaker_name = function
+  | Closed _ -> "closed"
+  | Open _ -> "open"
+  | Half_open -> "half-open"
+
+let restriction = function
+  | Open _ -> Some [ Runtime.Report.Greedy ]
+  | Closed _ | Half_open -> None
+
+let breaker_step config b (report : Runtime.Report.t) =
+  let escalated =
+    (match report.Runtime.Report.rung with
+    | Runtime.Report.Greedy | Runtime.Report.Quarantine -> true
+    | Runtime.Report.Noop | Runtime.Report.Incremental
+    | Runtime.Report.Full_resolve ->
+      false)
+    || not report.Runtime.Report.verified
+  in
+  match b with
+  | Closed { strikes } ->
+    if escalated then
+      if strikes + 1 >= config.trip_after then
+        Open { cooldown_left = config.cooldown }
+      else Closed { strikes = strikes + 1 }
+    else Closed { strikes = 0 }
+  | Open { cooldown_left } ->
+    (* Under restriction the greedy rung is the expected outcome, so only
+       the floor (quarantine) or a failed verification resets the
+       cooldown. *)
+    if report.Runtime.Report.rung = Runtime.Report.Quarantine
+       || not report.Runtime.Report.verified
+    then Open { cooldown_left = config.cooldown }
+    else if cooldown_left <= 1 then Half_open
+    else Open { cooldown_left = cooldown_left - 1 }
+  | Half_open ->
+    if escalated then Open { cooldown_left = config.cooldown }
+    else Closed { strikes = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Durable translation state (the journal's client blob)               *)
+
+type tstate = { ts_active : bool; ts_ingress : int option; ts_breaker : breaker }
+
+let fresh_ts = { ts_active = false; ts_ingress = None; ts_breaker = Closed { strikes = 0 } }
+
+(* Everything the deterministic op->event translation depends on, beyond
+   the engine itself.  Captured (post-draw, ticket marked done) into the
+   Ev_begin client blob of every journaled event, so recovery restores
+   the exact translation stream.  [cs_last] names the tenant whose
+   breaker step is still pending when this blob was written at Ev_begin
+   — the report was not in hand yet; recovery patches that one step from
+   the last replayed report. *)
+type cstate = {
+  cs_prng : Prng.t;
+  mutable cs_done_below : int;  (** every ticket < this is processed *)
+  mutable cs_done : int list;  (** processed tickets >= [cs_done_below] *)
+  mutable cs_tenants : (int * tstate) list;  (** sorted by tenant *)
+  mutable cs_killed : (int * int) list;  (** links cut by chaos ops *)
+  mutable cs_last : int option;
+}
+
+let initial_cstate ~seed ~id =
+  {
+    cs_prng = Prng.create ((seed * 0x1003F) lxor ((id * 131) + 17));
+    cs_done_below = 1;
+    cs_done = [];
+    cs_tenants = [];
+    cs_killed = [];
+    cs_last = None;
+  }
+
+let capture cs = Marshal.to_string cs []
+let restore blob = (Marshal.from_string blob 0 : cstate)
+
+let ts_find cs tenant =
+  Option.value (List.assoc_opt tenant cs.cs_tenants) ~default:fresh_ts
+
+let ts_set cs tenant ts =
+  cs.cs_tenants <-
+    List.sort
+      (fun (a, _) (b, _) -> compare a b)
+      ((tenant, ts) :: List.remove_assoc tenant cs.cs_tenants)
+
+let rec advance_watermark cs =
+  if List.mem cs.cs_done_below cs.cs_done then begin
+    cs.cs_done <- List.filter (fun x -> x <> cs.cs_done_below) cs.cs_done;
+    cs.cs_done_below <- cs.cs_done_below + 1;
+    advance_watermark cs
+  end
+
+let mark_done cs ticket =
+  cs.cs_done <- List.sort compare (ticket :: cs.cs_done);
+  advance_watermark cs
+
+let is_done cs ticket = ticket < cs.cs_done_below || List.mem ticket cs.cs_done
+
+(* ------------------------------------------------------------------ *)
+(* The shard                                                           *)
+
+type stores = { journal : Journal.Store.t; intake : Journal.Store.t }
+
+type t = {
+  config : config;
+  stores : stores;
+  jeng : Journal.Journaled.t;
+  mutable cs : cstate;
+  mutable next_ticket : int;
+  mutable queue : (int * int * Wire.op) list;  (* (ticket, tenant, op), FIFO *)
+  mutable since_snapshot : int;
+}
+
+(* One durable intake record: what was acked, exactly. *)
+type intake = { it_ticket : int; it_tenant : int; it_op : Wire.op }
+
+let encode_intake it = Journal.Wal.frame (Marshal.to_string it [])
+
+let decode_intakes bytes =
+  let payloads, _ = Journal.Wal.scan_payloads bytes in
+  List.filter_map
+    (fun p ->
+      match (Marshal.from_string p 0 : intake) with
+      | it -> Some it
+      | exception _ -> None)
+    payloads
+
+let journal_config = { Journal.Journaled.snapshot_every = max_int }
+
+let base_solution config =
+  let net = Topo.Fattree.make 4 in
+  Placement.Solution.empty
+    (Placement.Instance.make ~net
+       ~routing:(Routing.Table.of_paths [])
+       ~policies:[]
+       ~capacities:(Placement.Instance.uniform_capacity net config.capacity))
+
+let create ?(config = default_config) ?kill ~stores ~seed ~id () =
+  let jeng =
+    Journal.Journaled.create ~config:config.engine ~journal:journal_config
+      ?kill ~store:stores.journal (base_solution config)
+  in
+  let cs = initial_cstate ~seed ~id in
+  Journal.Journaled.set_client jeng (capture cs);
+  Journal.Journaled.snapshot_now jeng;
+  stores.intake.Journal.Store.snap_write "";
+  stores.intake.Journal.Store.wal_reset ();
+  { config; stores; jeng; cs; next_ticket = 1; queue = []; since_snapshot = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+
+let admit t ~tenant ~op =
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  t.stores.intake.Journal.Store.wal_append
+    (encode_intake { it_ticket = ticket; it_tenant = tenant; it_op = op });
+  t.stores.intake.Journal.Store.wal_sync ();
+  t.queue <- t.queue @ [ (ticket, tenant, op) ];
+  ticket
+
+let pending t = List.length t.queue
+
+let pending_for t ~tenant =
+  List.length (List.filter (fun (_, tn, _) -> tn = tenant) t.queue)
+
+let resolved t ~ticket = is_done t.cs ticket
+
+(* ------------------------------------------------------------------ *)
+(* Translation: Wire.op -> Runtime.Event, against the live network      *)
+
+let eng t = Journal.Journaled.engine t.jeng
+
+let path_to prng net ~ingress ~egress =
+  let src = Topo.Net.host_attach net ingress in
+  let dst = Topo.Net.host_attach net egress in
+  match Routing.Shortest.random_shortest_path prng net ~src ~dst with
+  | Some switches -> Some (Routing.Path.make ~ingress ~egress ~switches ())
+  | None -> None
+
+let translate t tenant op =
+  let e = eng t in
+  let inst = (Runtime.Engine.good e).Placement.Solution.instance in
+  let net = inst.Placement.Instance.net in
+  let dead = Runtime.Engine.dead_switches e in
+  let cs = t.cs in
+  let ts = ts_find cs tenant in
+  let attach_alive h = not (List.mem (Topo.Net.host_attach net h) dead) in
+  let hosts = List.init (Topo.Net.num_hosts net) Fun.id in
+  let taken =
+    List.filter_map (fun (_, s) -> if s.ts_active then s.ts_ingress else None)
+      cs.cs_tenants
+  in
+  let egress_pool i = List.filter (fun h -> h <> i && attach_alive h) hosts in
+  let fresh_paths i =
+    let pool = egress_pool i in
+    if pool = [] then []
+    else
+      let n = 1 + Prng.int cs.cs_prng 2 in
+      List.filter_map
+        (fun _ ->
+          path_to cs.cs_prng net ~ingress:i
+            ~egress:(Prng.choose_list cs.cs_prng pool))
+        (List.init n Fun.id)
+  in
+  let fresh_policy i paths rules =
+    let egresses =
+      List.sort_uniq compare
+        (List.map (fun (p : Routing.Path.t) -> p.Routing.Path.egress) paths)
+    in
+    let egresses = if egresses = [] then egress_pool i else egresses in
+    Classbench.policy_for_ingress cs.cs_prng ~net ~egresses ~num_rules:rules
+  in
+  match op with
+  | Wire.Connect { rules } -> (
+    if ts.ts_active then Error "already connected"
+    else
+      let free =
+        List.filter
+          (fun h ->
+            attach_alive h
+            && (not (List.mem h taken))
+            && not (List.mem h (Runtime.Engine.quarantined e)))
+          hosts
+      in
+      if free = [] then Error "no free ingress"
+      else
+        let i = Prng.choose_list cs.cs_prng free in
+        match fresh_paths i with
+        | [] -> Error "no route"
+        | paths ->
+          ts_set cs tenant { ts with ts_active = true; ts_ingress = Some i };
+          Ok
+            (Runtime.Event.Install
+               { ingress = i; policy = fresh_policy i paths (max 1 rules); paths }))
+  | Wire.Flow -> (
+    match ts.ts_ingress with
+    | Some i when ts.ts_active -> (
+      match fresh_paths i with
+      | [] -> Error "no route"
+      | paths -> Ok (Runtime.Event.Reroute { ingresses = [ i ]; paths }))
+    | _ -> Error "not connected")
+  | Wire.Update { rules } -> (
+    match ts.ts_ingress with
+    | Some i when ts.ts_active ->
+      let paths = Routing.Table.paths_from inst.Placement.Instance.routing i in
+      Ok
+        (Runtime.Event.Update_policy
+           { ingress = i; policy = fresh_policy i paths (max 1 rules) })
+    | _ -> Error "not connected")
+  | Wire.Disconnect -> (
+    match ts.ts_ingress with
+    | Some i when ts.ts_active ->
+      ts_set cs tenant { ts with ts_active = false; ts_ingress = None };
+      Ok (Runtime.Event.Remove { ingresses = [ i ] })
+    | _ -> Error "not connected")
+  | Wire.Chaos c -> (
+    let num_switches = Topo.Net.num_switches net in
+    let alive =
+      List.filter (fun k -> not (List.mem k dead)) (List.init num_switches Fun.id)
+    in
+    match c with
+    | Wire.Kill_switch ->
+      if List.length dead >= num_switches / 4 || alive = [] then
+        Error "too many dead switches"
+      else
+        Ok
+          (Runtime.Event.Switch_fail
+             { switch = Prng.choose_list cs.cs_prng alive })
+    | Wire.Cut_link ->
+      let edges = Topo.Net.edges net in
+      let alive_edges =
+        List.filter
+          (fun (a, b) ->
+            (not (List.mem a dead))
+            && (not (List.mem b dead))
+            && not (List.mem (a, b) cs.cs_killed))
+          edges
+      in
+      if List.length cs.cs_killed >= List.length edges / 4 || alive_edges = []
+      then Error "too many cut links"
+      else begin
+        let u, v = Prng.choose_list cs.cs_prng alive_edges in
+        cs.cs_killed <- (u, v) :: cs.cs_killed;
+        Ok (Runtime.Event.Link_fail { u; v })
+      end
+    | Wire.Shrink_capacity -> (
+      let caps = inst.Placement.Instance.capacities in
+      match List.filter (fun k -> caps.(k) > 0) alive with
+      | [] -> Error "no capacity left to shrink"
+      | pool ->
+        let k = Prng.choose_list cs.cs_prng pool in
+        Ok (Runtime.Event.Capacity_shrink { switch = k; capacity = caps.(k) / 2 })))
+
+(* ------------------------------------------------------------------ *)
+(* Processing                                                          *)
+
+type outcome =
+  | Applied of { rung : Runtime.Report.rung; verified : bool; quarantined : bool }
+  | Quarantined of { reason : string }
+
+type processed = { p_tenant : int; p_ticket : int; p_outcome : outcome }
+
+let snapshot t =
+  (* Journal first: its snapshot carries the done-set that lets recovery
+     discard the intake records compaction is about to duplicate or that
+     a crash leaves behind. *)
+  Journal.Journaled.snapshot_now t.jeng;
+  let frames =
+    String.concat ""
+      (List.map
+         (fun (ticket, tenant, op) ->
+           encode_intake { it_ticket = ticket; it_tenant = tenant; it_op = op })
+         t.queue)
+  in
+  (* Pending records move to the atomic snapshot slot before the log is
+     truncated: a crash between the two reads them twice (deduped on
+     recovery), never zero times. *)
+  t.stores.intake.Journal.Store.snap_write frames;
+  t.stores.intake.Journal.Store.wal_reset ();
+  t.since_snapshot <- 0
+
+let process_one t (ticket, tenant, op) =
+  match translate t tenant op with
+  | Error reason ->
+    (* A deterministic resolution, not an event: nothing reaches the
+       engine or the journal.  The done-marking becomes durable with the
+       next journaled event or snapshot; until then a crash simply
+       re-translates this ticket to the same rejection. *)
+    mark_done t.cs ticket;
+    { p_tenant = tenant; p_ticket = ticket; p_outcome = Quarantined { reason } }
+  | Ok event ->
+    mark_done t.cs ticket;
+    let b = (ts_find t.cs tenant).ts_breaker in
+    let rungs = restriction b in
+    t.cs.cs_last <- Some tenant;
+    let blob = capture t.cs in
+    let report = Journal.Journaled.handle ~client:blob ?rungs t.jeng event in
+    let ts = ts_find t.cs tenant in
+    ts_set t.cs tenant { ts with ts_breaker = breaker_step t.config b report };
+    t.cs.cs_last <- None;
+    Journal.Journaled.set_client t.jeng (capture t.cs);
+    t.since_snapshot <- t.since_snapshot + 1;
+    if t.since_snapshot >= t.config.snapshot_every then snapshot t;
+    let quarantined =
+      match ts.ts_ingress with
+      | Some i -> List.mem i report.Runtime.Report.quarantined
+      | None -> false
+    in
+    {
+      p_tenant = tenant;
+      p_ticket = ticket;
+      p_outcome =
+        Applied
+          {
+            rung = report.Runtime.Report.rung;
+            verified = report.Runtime.Report.verified;
+            quarantined;
+          };
+    }
+
+let process_round t ~pool =
+  let entries = t.queue in
+  let blocked = Hashtbl.create 8 in
+  let acquired = ref [] in
+  let out = ref [] in
+  List.iter
+    (fun ((ticket, tenant, _) as e) ->
+      if Hashtbl.mem blocked tenant then ()
+      else if Portfolio.Pool.try_acquire pool ~key:tenant then begin
+        acquired := tenant :: !acquired;
+        t.queue <- List.filter (fun (tk, _, _) -> tk <> ticket) t.queue;
+        out := process_one t e :: !out
+      end
+      else
+        (* Skipping the whole tenant for the round keeps its own tickets
+           FIFO while later tenants overtake it. *)
+        Hashtbl.replace blocked tenant ())
+    entries;
+  List.iter (fun tenant -> Portfolio.Pool.release pool ~key:tenant) !acquired;
+  List.rev !out
+
+let drain t =
+  let out = ref [] in
+  while t.queue <> [] do
+    let n = max 1 (pending t) in
+    let pool = Portfolio.Pool.create ~slots:n ~per_key_cap:n in
+    out := !out @ process_round t ~pool
+  done;
+  snapshot t;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+type recovered = {
+  shard : t;
+  replayed : int;
+  reissued : int;
+  divergences : string list;
+}
+
+let recover ?(config = default_config) ?kill ~stores ~seed ~id () =
+  match
+    Journal.Journaled.recover ~config:config.engine ~journal:journal_config
+      ?kill ~resnap:false ~store:stores.journal ()
+  with
+  | Error _ as e -> e
+  | Ok r ->
+    let jeng = r.Journal.Journaled.journaled in
+    let cs =
+      match Journal.Journaled.client jeng with
+      | Some blob -> restore blob
+      | None -> initial_cstate ~seed ~id
+    in
+    (* The blob logged at the last Ev_begin predates that event's report;
+       its breaker step is the one transition recovery owes.  The report
+       is the last one the journal just replayed. *)
+    (match (cs.cs_last, List.rev r.Journal.Journaled.replayed) with
+    | Some tenant, (_, report) :: _ ->
+      let ts = ts_find cs tenant in
+      ts_set cs tenant { ts with ts_breaker = breaker_step config ts.ts_breaker report }
+    | _ -> ());
+    cs.cs_last <- None;
+    Journal.Journaled.set_client jeng (capture cs);
+    let snap_bytes =
+      Option.value (stores.intake.Journal.Store.snap_read ()) ~default:""
+    in
+    let wal_bytes = stores.intake.Journal.Store.wal_read () in
+    let all = decode_intakes snap_bytes @ decode_intakes wal_bytes in
+    let seen = Hashtbl.create 16 in
+    let entries =
+      List.filter
+        (fun it ->
+          if Hashtbl.mem seen it.it_ticket then false
+          else begin
+            Hashtbl.replace seen it.it_ticket ();
+            true
+          end)
+        all
+    in
+    let pending_entries =
+      List.sort
+        (fun a b -> compare a.it_ticket b.it_ticket)
+        (List.filter (fun it -> not (is_done cs it.it_ticket)) entries)
+    in
+    let max_seen =
+      List.fold_left
+        (fun acc it -> max acc it.it_ticket)
+        (List.fold_left max (cs.cs_done_below - 1) cs.cs_done)
+        entries
+    in
+    let t =
+      {
+        config;
+        stores;
+        jeng;
+        cs;
+        next_ticket = max_seen + 1;
+        queue =
+          List.map
+            (fun it -> (it.it_ticket, it.it_tenant, it.it_op))
+            pending_entries;
+        since_snapshot = 0;
+      }
+    in
+    snapshot t;
+    Ok
+      {
+        shard = t;
+        replayed = List.length r.Journal.Journaled.replayed;
+        reissued = List.length pending_entries;
+        divergences = r.Journal.Journaled.divergences;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                          *)
+
+let digest x = Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
+
+let cs_view cs =
+  ( cs.cs_done_below,
+    cs.cs_done,
+    List.map
+      (fun (tn, ts) -> (tn, ts.ts_active, ts.ts_ingress, breaker_name ts.ts_breaker))
+      cs.cs_tenants,
+    List.sort compare cs.cs_killed )
+
+let signature t =
+  let e = eng t in
+  digest
+    ( Runtime.Engine.table_snapshot e,
+      Runtime.Engine.quarantined e,
+      Runtime.Engine.dead_switches e,
+      Runtime.Engine.live_entries e,
+      Journal.Journaled.seq t.jeng,
+      cs_view t.cs,
+      List.map (fun (tk, tn, _) -> (tk, tn)) t.queue )
+
+let tenant_signature t ~tenant =
+  let e = eng t in
+  let inst = (Runtime.Engine.good e).Placement.Solution.instance in
+  let ts = ts_find t.cs tenant in
+  let policy, paths, fenced =
+    match ts.ts_ingress with
+    | Some i ->
+      ( List.assoc_opt i inst.Placement.Instance.policies,
+        Routing.Table.paths_from inst.Placement.Instance.routing i,
+        List.mem i (Runtime.Engine.quarantined e) )
+    | None -> (None, [], false)
+  in
+  digest
+    (ts.ts_active, ts.ts_ingress, breaker_name ts.ts_breaker, policy, paths, fenced)
+
+let tenants t = List.map fst t.cs.cs_tenants
+
+let breaker_state t ~tenant = breaker_name (ts_find t.cs tenant).ts_breaker
+
+let seq t = Journal.Journaled.seq t.jeng

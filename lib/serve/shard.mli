@@ -1,0 +1,176 @@
+(** One tenant region of the daemon: a journaled {!Runtime.Engine} plus
+    the durable admission state in front of it.
+
+    A shard owns two stores.  The {e journal} store is the engine's
+    crash-safe WAL/snapshot pair ({!Journal.Journaled}).  The {e intake}
+    store is an append-only log of admitted tickets: an event is acked
+    ({!Wire.Accepted}) only after its [(ticket, tenant, op)] record is
+    framed, appended and fsynced there — which is the whole no-lost-acks
+    guarantee.  Processing then translates each ticket into a
+    {!Runtime.Event} against the live network and drives it through the
+    journaled engine.
+
+    {b Determinism across crashes.}  Translation draws (ingress
+    allocation, path choice, policy synthesis) come from a PRNG whose
+    state rides the journal's client blob, captured {e after} drawing
+    each event and marking its ticket done.  Recovery therefore splits
+    the intake log exactly: tickets the restored blob marks done were
+    journaled (the engine replay re-absorbs them); the rest re-translate
+    from the restored PRNG state into byte-identical events.  A ticket
+    whose translation fails (e.g. [Flow] from a disconnected tenant) is
+    resolved as a {e quarantined ticket} — a pure function of the
+    restored state, so a crash re-derives the same resolution.
+
+    {b Bulkhead.}  Each tenant carries a circuit breaker.  Events that
+    keep escalating the engine's degradation ladder (greedy/quarantine
+    outcomes, failed verification) trip it open, after which the
+    tenant's events are pinned to the cheap greedy rung (quarantine
+    floor intact) until a cooldown of clean outcomes half-opens and then
+    closes it.  The per-event rung restriction is persisted in the WAL
+    ({!Journal.Wal.Ev_begin}), so replay degrades exactly like the
+    original run.  Breaker steps depend on each event's {e report}, so
+    the blob logged at [Ev_begin] lags by one step; {!recover} patches
+    that step from the last replayed report (see
+    {!Journal.Journaled.set_client}). *)
+
+type config = {
+  capacity : int;  (** uniform per-switch ACL budget of the shard's net *)
+  trip_after : int;  (** consecutive escalations that open the breaker *)
+  cooldown : int;  (** clean restricted events before half-open *)
+  snapshot_every : int;  (** events between shard snapshots/compactions *)
+  engine : Runtime.Engine.config;
+}
+
+val default_config : config
+(** k=4 fat-tree, capacity 30, trip_after 3, cooldown 4,
+    snapshot_every 8, a 5 s engine deadline. *)
+
+(** The per-tenant circuit breaker, a pure state machine over event
+    reports (exposed for direct unit testing; the shard drives it
+    internally). *)
+type breaker =
+  | Closed of { strikes : int }
+  | Open of { cooldown_left : int }
+  | Half_open
+
+val breaker_step : config -> breaker -> Runtime.Report.t -> breaker
+(** One transition.  An {e escalated} report (greedy or quarantine rung,
+    or failed verification) strikes a closed breaker — [trip_after]
+    consecutive strikes open it — and re-opens a half-open one.  While
+    open, only a quarantine rung or failed verification resets the
+    cooldown; anything better counts it down to half-open. *)
+
+val restriction : breaker -> Runtime.Report.rung list option
+(** The solve-rung restriction an open breaker pins its tenant to. *)
+
+val breaker_name : breaker -> string
+
+type t
+
+type stores = { journal : Journal.Store.t; intake : Journal.Store.t }
+
+val create :
+  ?config:config ->
+  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  stores:stores ->
+  seed:int ->
+  id:int ->
+  unit ->
+  t
+(** A fresh shard over an {e empty} network (no tenants, no rules):
+    placement state grows as tenants connect.  Overwrites both stores.
+    [seed] and [id] fix every future translation draw.  [kill] is the
+    journal's crash-window hook (see {!Journal.Journaled}), the bench's
+    lever for killing the daemon mid-update. *)
+
+(** {1 Admission} *)
+
+val admit : t -> tenant:int -> op:Wire.op -> int
+(** Durably log one admitted operation and return its ticket (a
+    per-shard sequence starting at 1).  Returns only after the intake
+    append is fsynced — callers may ack.  Queue bounds are the caller's
+    job ({!Daemon}); the shard never sheds. *)
+
+val pending : t -> int
+(** Admitted tickets not yet processed. *)
+
+val pending_for : t -> tenant:int -> int
+
+val resolved : t -> ticket:int -> bool
+(** The ticket has been processed (applied or deterministically
+    quarantined).  After a restart plus {!drain}, every ticket ever
+    acked must be resolved — the no-lost-acks invariant. *)
+
+(** {1 Processing} *)
+
+type outcome =
+  | Applied of { rung : Runtime.Report.rung; verified : bool; quarantined : bool }
+  | Quarantined of { reason : string }
+      (** translation failed deterministically; the network is untouched *)
+
+type processed = { p_tenant : int; p_ticket : int; p_outcome : outcome }
+
+val process_round : t -> pool:Portfolio.Pool.t -> processed list
+(** Process the pending queue through one scheduling round: tickets are
+    taken in admission order {e per tenant}, but a tenant refused a pool
+    slot (global pressure or its per-tenant cap) is skipped {e as a
+    whole} for the round — later tenants overtake it, its own later
+    tickets never do.  Every slot acquired is released before
+    returning. *)
+
+val drain : t -> processed list
+(** Process everything pending (unbounded rounds), then snapshot the
+    engine journal and compact the intake log. *)
+
+val snapshot : t -> unit
+(** Snapshot the journal (post-report client blob included) and compact
+    the intake log down to its pending suffix.  The intake compaction
+    writes the pending records to the store's snapshot slot {e before}
+    truncating the log, so a crash between the two duplicates records
+    (deduped on recovery) rather than losing them. *)
+
+(** {1 Recovery} *)
+
+type recovered = {
+  shard : t;
+  replayed : int;  (** events the journal re-executed *)
+  reissued : int;  (** acked tickets rebuilt into the pending queue *)
+  divergences : string list;  (** non-empty means state corruption *)
+}
+
+val recover :
+  ?config:config ->
+  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  stores:stores ->
+  seed:int ->
+  id:int ->
+  unit ->
+  (recovered, string) result
+(** Rebuild the shard after a crash: recover the journaled engine,
+    restore the translation blob (patching the one possibly-missing
+    breaker step from the last replayed report), and re-queue every
+    acked-but-unprocessed intake ticket in admission order.  [config]
+    and [seed] must match the crashed process.  Ends with {!snapshot},
+    so recovering twice is idempotent. *)
+
+(** {1 Inspection} *)
+
+val signature : t -> string
+(** Digest of the shard's complete observable state: live tables,
+    quarantine set, dead infrastructure, entry count, event count.
+    Byte-identical between a crashed-and-recovered run and an uncrashed
+    one — the bench's zero-divergence gate. *)
+
+val tenant_signature : t -> tenant:int -> string
+(** Digest of one tenant's view: liveness, assigned ingress, its policy
+    and paths in the last-good placement, quarantine membership. *)
+
+val tenants : t -> int list
+(** Tenants this shard has ever seen, ascending. *)
+
+val breaker_state : t -> tenant:int -> string
+(** ["closed"], ["open"] or ["half-open"] (unknown tenants are
+    closed). *)
+
+val seq : t -> int
+(** Events durably absorbed by the journaled engine. *)

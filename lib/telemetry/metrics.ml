@@ -33,11 +33,18 @@ type metric = {
 type registry = {
   lock : Mutex.t;
   mutable items : metric list; (* reverse registration order *)
+  mutable label_cap : int option;
+      (* max distinct labeled series per base name; overflow collapses *)
   enabled : bool Atomic.t;
 }
 
 let create_registry () =
-  { lock = Mutex.create (); items = []; enabled = Atomic.make false }
+  {
+    lock = Mutex.create ();
+    items = [];
+    label_cap = None;
+    enabled = Atomic.make false;
+  }
 
 let default_registry = create_registry ()
 
@@ -48,6 +55,20 @@ let enable ?registry () = Atomic.set (reg registry).enabled true
 let disable ?registry () = Atomic.set (reg registry).enabled false
 
 let is_enabled ?registry () = Atomic.get (reg registry).enabled
+
+let set_label_cap ?registry cap =
+  (match cap with
+  | Some c when c < 1 ->
+    invalid_arg "Telemetry.Metrics.set_label_cap: cap must be >= 1"
+  | _ -> ());
+  let r = reg registry in
+  Mutex.lock r.lock;
+  r.label_cap <- cap;
+  Mutex.unlock r.lock
+
+let label_cap ?registry () = (reg registry).label_cap
+
+let overflow_value = "_overflow"
 
 type counter = { c_on : bool Atomic.t; c : int Atomic.t }
 
@@ -87,7 +108,16 @@ let kind_name = function
   | Histogram -> "histogram"
 
 (* Look up (name, labels); create the cell under the registry lock if
-   absent.  Module initialisers register concurrently-safe this way. *)
+   absent.  Module initialisers register concurrently-safe this way.
+
+   When a label cap is set, a registration that would create a new
+   labeled series for a base name already carrying [cap] distinct label
+   sets is redirected to that name's overflow series — every label value
+   replaced by ["_overflow"] — so unbounded label spaces (per-tenant
+   series, say) aggregate into one bounded cell instead of growing the
+   registry without limit. *)
+let overflow_labels labels = List.map (fun (k, _) -> (k, overflow_value)) labels
+
 let register r ~name ~labels ~help ~kind mk =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Telemetry.Metrics: bad metric name %S" name);
@@ -95,11 +125,26 @@ let register r ~name ~labels ~help ~kind mk =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock r.lock)
     (fun () ->
-      match
+      let find labels =
         List.find_opt
           (fun m -> m.m_name = name && m.m_labels = labels)
           r.items
-      with
+      in
+      let labels =
+        match (find labels, labels, r.label_cap) with
+        | None, _ :: _, Some cap ->
+          let ovf = overflow_labels labels in
+          let distinct =
+            List.length
+              (List.filter
+                 (fun m ->
+                   m.m_name = name && m.m_labels <> [] && m.m_labels <> ovf)
+                 r.items)
+          in
+          if labels <> ovf && distinct >= cap then ovf else labels
+        | _ -> labels
+      in
+      match find labels with
       | Some m ->
         if m.m_kind <> kind then
           invalid_arg

@@ -25,6 +25,22 @@ val disable : ?registry:registry -> unit -> unit
 
 val is_enabled : ?registry:registry -> unit -> bool
 
+val set_label_cap : ?registry:registry -> int option -> unit
+(** Bound the number of distinct labeled series any single metric name
+    may carry.  Once a name holds [cap] labeled series, further
+    registrations with {e new} label sets are redirected to that name's
+    overflow series — the same label keys with every value replaced by
+    ["_overflow"] — so unbounded label spaces (per-tenant counters, say)
+    aggregate into one cell instead of growing the registry without
+    limit.  Existing series, unlabeled series, and re-registrations of
+    an already-present label set are unaffected.  [None] (the default)
+    removes the bound.  Raises [Invalid_argument] on a cap < 1. *)
+
+val label_cap : ?registry:registry -> unit -> int option
+
+val overflow_value : string
+(** The label value every overflow-series label carries: ["_overflow"]. *)
+
 type counter
 
 type gauge

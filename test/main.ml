@@ -34,4 +34,5 @@ let () =
       ("journal", Test_journal.suite);
       ("properties", Test_properties.suite);
       ("telemetry", Test_telemetry.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -54,6 +54,7 @@ let sample_records () =
         seq = 1;
         event = Event.Remove { ingresses = [ 0; 2 ] };
         client = Some "churn blob";
+        rungs = None;
       };
     Wal.Tx_intent
       { seq = 1; undo = [| [ entry 0 1 ]; [] |]; redo = [| []; [ entry 1 2 ] |] };
@@ -107,6 +108,8 @@ let test_wal_fuzz () =
             (if Prng.bool g then
                Some (String.init (Prng.int g 24) (fun _ -> Char.chr (Prng.int g 256)))
              else None);
+          rungs =
+            (if Prng.bool g then Some [ Runtime.Report.Greedy ] else None);
         }
     | 1 ->
       Wal.Tx_intent

@@ -1,0 +1,510 @@
+(* The serving layer: bulkhead pool semantics, the framed wire codec
+   (torn and corrupt streams included), typed admission bounds, the
+   per-tenant circuit breaker state machine, graceful drain over a
+   framed session, and — the load-bearing property — admission never
+   loses an acked event: across random request streams, overload and
+   random kill/restart points, every Accepted ticket is eventually
+   applied or deterministically quarantined, and equal seeds give
+   byte-identical final tenant signatures. *)
+
+module Wire = Serve.Wire
+module Shard = Serve.Shard
+module Daemon = Serve.Daemon
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------------- bulkhead pool -------------------------------------- *)
+
+let test_pool_bulkhead () =
+  let p = Portfolio.Pool.create ~slots:3 ~per_key_cap:2 in
+  Alcotest.(check bool) "first slot for t1" true
+    (Portfolio.Pool.try_acquire p ~key:1);
+  Alcotest.(check bool) "second slot for t1" true
+    (Portfolio.Pool.try_acquire p ~key:1);
+  Alcotest.(check bool) "per-key cap bites" false
+    (Portfolio.Pool.try_acquire p ~key:1);
+  Alcotest.(check bool) "other tenant still admitted" true
+    (Portfolio.Pool.try_acquire p ~key:2);
+  Alcotest.(check bool) "global cap bites" false
+    (Portfolio.Pool.try_acquire p ~key:3);
+  Portfolio.Pool.release p ~key:2;
+  Alcotest.(check bool) "released slot reusable" true
+    (Portfolio.Pool.try_acquire p ~key:3);
+  Alcotest.(check int) "in flight" 3 (Portfolio.Pool.in_flight p);
+  (match Portfolio.Pool.release p ~key:9 with
+  | () -> Alcotest.fail "released a slot key 9 never held"
+  | exception Invalid_argument _ -> ());
+  Portfolio.Pool.reset p;
+  Alcotest.(check int) "reset empties" 0 (Portfolio.Pool.in_flight p);
+  Alcotest.(check bool) "usable after reset" true
+    (Portfolio.Pool.try_acquire p ~key:1);
+  match Portfolio.Pool.create ~slots:0 ~per_key_cap:1 with
+  | _ -> Alcotest.fail "zero-slot pool accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- wire codec ----------------------------------------- *)
+
+let sample_requests =
+  [
+    Wire.Submit { tenant = 0; op = Wire.Connect { rules = 3 } };
+    Wire.Submit { tenant = 7; op = Wire.Flow };
+    Wire.Submit { tenant = 2; op = Wire.Update { rules = 5 } };
+    Wire.Submit { tenant = 0; op = Wire.Disconnect };
+    Wire.Submit { tenant = 1; op = Wire.Chaos Wire.Kill_switch };
+    Wire.Submit { tenant = 1; op = Wire.Chaos Wire.Cut_link };
+    Wire.Submit { tenant = 3; op = Wire.Chaos Wire.Shrink_capacity };
+    Wire.Stats;
+    Wire.Drain;
+  ]
+
+let sample_replies =
+  [
+    Wire.Accepted { tenant = 4; ticket = 17 };
+    Wire.Rejected_overload
+      { tenant = 0; scope = Wire.Global; queued = 64; limit = 64 };
+    Wire.Rejected_overload
+      { tenant = 5; scope = Wire.Tenant; queued = 8; limit = 8 };
+    Wire.Rejected { reason = "draining" };
+    Wire.Applied
+      {
+        tenant = 4;
+        ticket = 17;
+        rung = Runtime.Report.Incremental;
+        verified = true;
+        quarantined = false;
+      };
+    Wire.Quarantined_ticket { tenant = 2; ticket = 9; reason = "no route" };
+    Wire.Drained { processed = 41 };
+    Wire.Stats_reply
+      {
+        tenants = 3;
+        accepted = 10;
+        applied = 7;
+        quarantined = 2;
+        shed = 1;
+        pending = 1;
+      };
+  ]
+
+let test_wire_roundtrip () =
+  let stream = String.concat "" (List.map Wire.encode_request sample_requests) in
+  let decoded, consumed = Wire.decode_requests stream in
+  Alcotest.(check int) "whole stream consumed" (String.length stream) consumed;
+  Alcotest.(check bool) "requests roundtrip" true (decoded = sample_requests);
+  let rstream = String.concat "" (List.map Wire.encode_reply sample_replies) in
+  let rdecoded, rconsumed = Wire.decode_replies rstream in
+  Alcotest.(check int) "reply stream consumed" (String.length rstream) rconsumed;
+  Alcotest.(check bool) "replies roundtrip" true (rdecoded = sample_replies)
+
+let test_wire_torn_and_corrupt () =
+  let stream = String.concat "" (List.map Wire.encode_request sample_requests) in
+  (* A torn tail loses exactly the last message, never an earlier one. *)
+  let torn = String.sub stream 0 (String.length stream - 3) in
+  let decoded, consumed = Wire.decode_requests torn in
+  Alcotest.(check int) "all but the torn message" (List.length sample_requests - 1)
+    (List.length decoded);
+  Alcotest.(check bool) "prefix equals originals" true
+    (decoded
+    = List.filteri (fun i _ -> i < List.length sample_requests - 1)
+        sample_requests);
+  Alcotest.(check bool) "consumed stops before the torn frame" true
+    (consumed < String.length torn);
+  (* A flipped payload byte fails the frame CRC: decoding stops there. *)
+  let corrupt = Bytes.of_string stream in
+  let first_len = String.length (Wire.encode_request (List.hd sample_requests)) in
+  Bytes.set corrupt (first_len + 12)
+    (Char.chr (Char.code (Bytes.get corrupt (first_len + 12)) lxor 0xFF));
+  let decoded, _ = Wire.decode_requests (Bytes.to_string corrupt) in
+  Alcotest.(check int) "CRC stops the scan at the flipped frame" 1
+    (List.length decoded)
+
+let test_wire_read_message () =
+  let path = "serve_wire_frames.bin" in
+  let oc = open_out_bin path in
+  List.iter (fun r -> output_string oc (Wire.encode_request r)) sample_requests;
+  (* plus a torn header at the tail *)
+  output_string oc "\000\000";
+  close_out oc;
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in ic;
+      Sys.remove path)
+    (fun () ->
+      List.iter
+        (fun expect ->
+          match Wire.read_message ic with
+          | None -> Alcotest.fail "stream ended early"
+          | Some payload ->
+            Alcotest.(check bool) "framed payload decodes to the request" true
+              ((Marshal.from_string payload 0 : Wire.request) = expect))
+        sample_requests;
+      Alcotest.(check bool) "torn tail reads as end of stream" true
+        (Wire.read_message ic = None))
+
+(* ---------------- typed admission bounds ----------------------------- *)
+
+let mem_stores shards =
+  let backing =
+    Array.init shards (fun _ ->
+        let journal, jmem = Journal.Store.memory () in
+        let intake, imem = Journal.Store.memory () in
+        ({ Shard.journal; intake }, jmem, imem))
+  in
+  let stores i =
+    let s, _, _ = backing.(i) in
+    s
+  in
+  let crash () =
+    Array.iter
+      (fun (_, jmem, imem) ->
+        Journal.Store.crash jmem;
+        Journal.Store.crash imem)
+      backing
+  in
+  (stores, crash)
+
+let small_config =
+  {
+    Daemon.default_config with
+    Daemon.shards = 1;
+    queue_limit = 4;
+    tenant_queue_limit = 2;
+    round_slots = 4;
+    tenant_round_cap = 2;
+  }
+
+let test_admission_bounds_typed () =
+  let stores, _ = mem_stores 1 in
+  let d = Daemon.create ~config:small_config ~stores () in
+  let submit tenant =
+    match Daemon.submit d (Wire.Submit { tenant; op = Wire.Connect { rules = 2 } }) with
+    | [ reply ] -> reply
+    | rs -> Alcotest.failf "expected one admission reply, got %d" (List.length rs)
+  in
+  (match submit 0 with
+  | Wire.Accepted { tenant = 0; ticket = 1 } -> ()
+  | r -> Alcotest.failf "unexpected: %s" (Wire.describe_reply r));
+  ignore (submit 0);
+  (match submit 0 with
+  | Wire.Rejected_overload { tenant = 0; scope = Wire.Tenant; queued = 2; limit = 2 }
+    -> ()
+  | r -> Alcotest.failf "wanted a typed tenant overload, got: %s" (Wire.describe_reply r));
+  ignore (submit 1);
+  ignore (submit 1);
+  (match submit 2 with
+  | Wire.Rejected_overload { scope = Wire.Global; queued = 4; limit = 4; _ } -> ()
+  | r -> Alcotest.failf "wanted a typed global overload, got: %s" (Wire.describe_reply r));
+  Alcotest.(check int) "both sheds counted" 2 (Daemon.shed d);
+  (match Daemon.submit d (Wire.Submit { tenant = -1; op = Wire.Flow }) with
+  | [ Wire.Rejected _ ] -> ()
+  | _ -> Alcotest.fail "negative tenant not rejected");
+  (* Every acked event still lands: drain resolves all four tickets. *)
+  let outcomes = Daemon.drain d in
+  Alcotest.(check int) "outcomes for the four acked + Drained" 5
+    (List.length outcomes);
+  Alcotest.(check bool) "nothing pending" true (Daemon.pending d = 0);
+  List.iter
+    (fun (tenant, ticket) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "tenant %d ticket %d resolved" tenant ticket)
+        true
+        (Daemon.resolved d ~tenant ~ticket))
+    [ (0, 1); (0, 2); (1, 3); (1, 4) ];
+  match Daemon.submit d (Wire.Submit { tenant = 5; op = Wire.Flow }) with
+  | [ Wire.Rejected { reason = "draining" } ] -> ()
+  | _ -> Alcotest.fail "submit after drain not refused"
+
+(* ---------------- breaker state machine ------------------------------ *)
+
+let report ~rung ~verified =
+  {
+    Runtime.Report.event = "test";
+    rung;
+    solve_status = "-";
+    applied = Runtime.Report.Committed;
+    newly_quarantined = [];
+    quarantined = [];
+    verified;
+    entries = 0;
+    attempts = 0;
+    failures = 0;
+    timeouts = 0;
+    retries = 0;
+    forced_resyncs = 0;
+    waves = 0;
+    wall_s = 0.0;
+  }
+
+let test_breaker_machine () =
+  let config = { Shard.default_config with Shard.trip_after = 2; cooldown = 2 } in
+  let step = Shard.breaker_step config in
+  let ok = report ~rung:Runtime.Report.Incremental ~verified:true in
+  let greedy = report ~rung:Runtime.Report.Greedy ~verified:true in
+  let quarantine = report ~rung:Runtime.Report.Quarantine ~verified:true in
+  let unverified = report ~rung:Runtime.Report.Noop ~verified:false in
+  let closed = Shard.Closed { strikes = 0 } in
+  Alcotest.(check bool) "closed carries no restriction" true
+    (Shard.restriction closed = None);
+  (* strike, then trip *)
+  let b1 = step closed greedy in
+  Alcotest.(check bool) "one strike" true (b1 = Shard.Closed { strikes = 1 });
+  Alcotest.(check bool) "clean outcome clears strikes" true
+    (step b1 ok = closed);
+  Alcotest.(check bool) "failed verification strikes too" true
+    (step closed unverified = Shard.Closed { strikes = 1 });
+  let tripped = step b1 greedy in
+  Alcotest.(check bool) "second strike trips" true
+    (tripped = Shard.Open { cooldown_left = 2 });
+  Alcotest.(check bool) "open pins to greedy" true
+    (Shard.restriction tripped = Some [ Runtime.Report.Greedy ]);
+  (* under restriction greedy is the expected rung: it counts the
+     cooldown down; only the floor resets it *)
+  let cooling = step tripped greedy in
+  Alcotest.(check bool) "cooldown counts down" true
+    (cooling = Shard.Open { cooldown_left = 1 });
+  Alcotest.(check bool) "quarantine resets the cooldown" true
+    (step cooling quarantine = Shard.Open { cooldown_left = 2 });
+  let half = step cooling greedy in
+  Alcotest.(check bool) "cooldown expiry half-opens" true (half = Shard.Half_open);
+  Alcotest.(check bool) "half-open probes unrestricted" true
+    (Shard.restriction half = None);
+  Alcotest.(check bool) "escalation re-opens" true
+    (step half greedy = Shard.Open { cooldown_left = 2 });
+  Alcotest.(check bool) "clean probe closes" true (step half ok = closed)
+
+(* ---------------- framed session: drain semantics -------------------- *)
+
+let test_serve_channels_drains () =
+  let stores, _ = mem_stores 1 in
+  let d = Daemon.create ~config:small_config ~stores () in
+  let requests =
+    [
+      Wire.Submit { tenant = 0; op = Wire.Connect { rules = 2 } };
+      Wire.Submit { tenant = 1; op = Wire.Connect { rules = 2 } };
+      Wire.Submit { tenant = 0; op = Wire.Flow };
+      Wire.Stats;
+      Wire.Drain;
+    ]
+  in
+  let in_path = "serve_session_in.bin" in
+  let out_path = "serve_session_out.bin" in
+  let oc = open_out_bin in_path in
+  List.iter (fun r -> output_string oc (Wire.encode_request r)) requests;
+  close_out oc;
+  let ic = open_in_bin in_path in
+  let oc = open_out_bin out_path in
+  let session = Daemon.serve_channels d ic oc in
+  close_in ic;
+  close_out oc;
+  let bytes =
+    let ic = open_in_bin out_path in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b
+  in
+  Sys.remove in_path;
+  Sys.remove out_path;
+  let replies, consumed = Wire.decode_replies bytes in
+  Alcotest.(check int) "every reply byte framed" (String.length bytes) consumed;
+  Alcotest.(check bool) "session saw the drain request" true session.Daemon.drained;
+  Alcotest.(check int) "all requests read" (List.length requests)
+    session.Daemon.requests;
+  let count p = List.length (List.filter p replies) in
+  Alcotest.(check int) "three acks" 3
+    (count (function Wire.Accepted _ -> true | _ -> false));
+  Alcotest.(check int) "one stats reply" 1
+    (count (function Wire.Stats_reply _ -> true | _ -> false));
+  Alcotest.(check int) "one drained marker, last" 1
+    (count (function Wire.Drained _ -> true | _ -> false));
+  (match List.rev replies with
+  | Wire.Drained _ :: _ -> ()
+  | _ -> Alcotest.fail "Drained is not the final reply");
+  Alcotest.(check int) "an outcome per acked event" 3
+    (count (function
+      | Wire.Applied _ | Wire.Quarantined_ticket _ -> true
+      | _ -> false));
+  Alcotest.(check int) "daemon fully drained" 0 (Daemon.pending d)
+
+(* ---------------- crash/recovery: deterministic shard resume --------- *)
+
+let test_shard_crash_resume_deterministic () =
+  let ops =
+    [
+      (0, Wire.Connect { rules = 2 });
+      (1, Wire.Connect { rules = 2 });
+      (0, Wire.Flow);
+      (1, Wire.Update { rules = 3 });
+      (0, Wire.Disconnect);
+      (2, Wire.Connect { rules = 2 });
+      (2, Wire.Flow);
+      (1, Wire.Flow);
+    ]
+  in
+  let run ~kill_after =
+    let journal, jmem = Journal.Store.memory () in
+    let intake, imem = Journal.Store.memory () in
+    let stores = { Shard.journal; intake } in
+    let armed = ref kill_after in
+    let kill _ =
+      match !armed with
+      | Some n when n <= 0 -> raise (Journal.Journaled.Killed "test")
+      | Some n -> armed := Some (n - 1)
+      | None -> ()
+    in
+    let config = { Shard.default_config with Shard.snapshot_every = 3 } in
+    let shard = ref (Shard.create ~config ~kill ~stores ~seed:5 ~id:0 ()) in
+    let acked = ref [] in
+    let crashed = ref false in
+    List.iter
+      (fun (tenant, op) ->
+        acked := Shard.admit !shard ~tenant ~op :: !acked;
+        match Shard.drain !shard with
+        | _ -> ()
+        | exception Journal.Journaled.Killed _ ->
+          crashed := true;
+          armed := None;
+          Journal.Store.crash jmem;
+          Journal.Store.crash imem;
+          (match Shard.recover ~config ~kill ~stores ~seed:5 ~id:0 () with
+          | Error e -> Alcotest.failf "recovery failed: %s" e
+          | Ok r ->
+            Alcotest.(check (list string)) "no divergence" [] r.Shard.divergences;
+            shard := r.Shard.shard);
+          ignore (Shard.drain !shard))
+      ops;
+    Alcotest.(check bool) "armed kill actually fired" true
+      (!crashed = (kill_after <> None));
+    List.iter
+      (fun ticket ->
+        Alcotest.(check bool)
+          (Printf.sprintf "ticket %d resolved" ticket)
+          true
+          (Shard.resolved !shard ~ticket))
+      !acked;
+    ( Shard.signature !shard,
+      List.map (fun t -> Shard.tenant_signature !shard ~tenant:t)
+        (Shard.tenants !shard) )
+  in
+  (* the same kill point twice: byte-identical final state *)
+  let a = run ~kill_after:(Some 40) in
+  let b = run ~kill_after:(Some 40) in
+  Alcotest.(check bool) "crashed runs reproducible" true (a = b);
+  let c = run ~kill_after:None in
+  let d = run ~kill_after:None in
+  Alcotest.(check bool) "uncrashed runs reproducible" true (c = d)
+
+(* ---------------- the property: admission never loses an acked event - *)
+
+(* One full daemon life against a seeded stream: random submits in
+   bursts, a scheduling round per burst, crashes at the generated
+   kill-point counters (stores crash-truncated, daemon restarted from
+   its journals), a final restart-free drain.  Returns everything the
+   property needs. *)
+let daemon_life ~seed ~kills () =
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.seed;
+      shards = 2;
+      queue_limit = 10;
+      tenant_queue_limit = 3;
+      round_slots = 4;
+      tenant_round_cap = 2;
+      shard = { Shard.default_config with Shard.snapshot_every = 4 };
+    }
+  in
+  let stores, crash = mem_stores config.Daemon.shards in
+  let kill_plan = ref kills in
+  let armed = ref None in
+  let arm () =
+    match !kill_plan with
+    | n :: rest ->
+      kill_plan := rest;
+      armed := Some n
+    | [] -> armed := None
+  in
+  arm ();
+  let kill _ =
+    match !armed with
+    | Some n when n <= 0 -> raise (Journal.Journaled.Killed "qcheck")
+    | Some n -> armed := Some (n - 1)
+    | None -> ()
+  in
+  let gen = Serve.Loadgen.make ~tenants:4 ~seed () in
+  let d = ref (Daemon.create ~config ~kill ~stores ()) in
+  let acked = ref [] in
+  let shed = ref 0 in
+  let crashes = ref 0 in
+  let divergences = ref [] in
+  let record = function
+    | Wire.Accepted { tenant; ticket } -> acked := (tenant, ticket) :: !acked
+    | Wire.Rejected_overload _ -> incr shed
+    | _ -> ()
+  in
+  for _ = 1 to 15 do
+    for _ = 1 to 3 do
+      List.iter record (Daemon.submit !d (Serve.Loadgen.next gen))
+    done;
+    match Daemon.tick !d with
+    | _ -> ()
+    | exception Journal.Journaled.Killed _ ->
+      incr crashes;
+      crash ();
+      arm ();
+      let s = Daemon.start ~config ~kill ~stores () in
+      divergences := !divergences @ s.Daemon.divergences;
+      d := s.Daemon.daemon
+  done;
+  armed := None;
+  ignore (Daemon.drain !d);
+  let lost =
+    List.filter
+      (fun (tenant, ticket) -> not (Daemon.resolved !d ~tenant ~ticket))
+      !acked
+  in
+  ( lost,
+    !divergences,
+    !shed,
+    !crashes,
+    (Daemon.signature !d, Daemon.tenant_signatures !d) )
+
+let qcheck_no_lost_acks =
+  QCheck.Test.make ~count:12
+    ~name:"no acked event lost; equal seeds, equal signatures"
+    QCheck.(pair small_nat (list_of_size Gen.(0 -- 2) (5 -- 250)))
+    (fun (seed, kills) ->
+      let lost1, div1, _, _, sig1 = daemon_life ~seed ~kills () in
+      let lost2, div2, _, _, sig2 = daemon_life ~seed ~kills () in
+      if lost1 <> [] || lost2 <> [] then
+        QCheck.Test.fail_reportf "lost acked tickets: %s"
+          (String.concat ","
+             (List.map
+                (fun (tn, tk) -> Printf.sprintf "%d/%d" tn tk)
+                (lost1 @ lost2)));
+      if div1 <> [] || div2 <> [] then
+        QCheck.Test.fail_reportf "recovery divergence: %s"
+          (String.concat "; " (div1 @ div2));
+      if sig1 <> sig2 then
+        QCheck.Test.fail_reportf
+          "equal seeds and kill plans gave different final signatures";
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "pool bulkhead semantics" `Quick test_pool_bulkhead;
+    Alcotest.test_case "wire codec roundtrips" `Quick test_wire_roundtrip;
+    Alcotest.test_case "wire codec survives torn and corrupt streams" `Quick
+      test_wire_torn_and_corrupt;
+    Alcotest.test_case "framed channel reader" `Quick test_wire_read_message;
+    Alcotest.test_case "admission bounds are typed, acked events land" `Quick
+      test_admission_bounds_typed;
+    Alcotest.test_case "circuit breaker trips, cools down, closes" `Quick
+      test_breaker_machine;
+    Alcotest.test_case "framed session drains gracefully" `Quick
+      test_serve_channels_drains;
+    Alcotest.test_case "shard crash-resume is deterministic" `Quick
+      test_shard_crash_resume_deterministic;
+    qtest qcheck_no_lost_acks;
+  ]

@@ -79,6 +79,55 @@ let test_registration_idempotent () =
   | _ -> Alcotest.fail "malformed name accepted"
   | exception Invalid_argument _ -> ()
 
+let test_label_cap_bounds_cardinality () =
+  let r = Metrics.create_registry () in
+  Metrics.enable ~registry:r ();
+  Alcotest.(check bool) "unbounded by default" true
+    (Metrics.label_cap ~registry:r () = None);
+  Metrics.set_label_cap ~registry:r (Some 2);
+  let tenant t =
+    Metrics.counter ~registry:r ~labels:[ ("tenant", t) ] "t_cap_total"
+  in
+  let a = tenant "1" and b = tenant "2" in
+  Metrics.incr a;
+  Metrics.incr b;
+  (* The registry is full for this name: new label sets land on the
+     overflow series instead of growing it. *)
+  let o1 = tenant "3" and o2 = tenant "4" in
+  Metrics.incr o1;
+  Metrics.incr o2;
+  Alcotest.(check int) "overflow aggregates new label sets" 2
+    (Metrics.counter_value o1);
+  Alcotest.(check int) "capped series untouched" 1 (Metrics.counter_value a);
+  Alcotest.(check int) "re-registration still hits its own cell" 2
+    (let a' = tenant "1" in
+     Metrics.incr a';
+     Metrics.counter_value a);
+  (* Unlabeled series and other names are unaffected by the cap. *)
+  let plain = Metrics.counter ~registry:r "t_cap_plain_total" in
+  Metrics.incr plain;
+  Alcotest.(check int) "unlabeled unaffected" 1 (Metrics.counter_value plain);
+  let series = Metrics.series_names ~registry:r () in
+  let has_sub sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "overflow series rendered" true
+    (List.exists (has_sub Metrics.overflow_value) series);
+  Alcotest.(check int) "cardinality bounded at cap + overflow" 3
+    (List.length (List.filter (has_sub "t_cap_total") series));
+  (* Render of the capped registry still validates. *)
+  (match Metrics.check_exposition ~registry:r (Metrics.render ~registry:r ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "capped render rejected: %s" e);
+  (* Lifting the cap restores normal registration. *)
+  Metrics.set_label_cap ~registry:r None;
+  let c5 = tenant "5" in
+  Metrics.incr c5;
+  Alcotest.(check int) "fresh series after uncapping" 1
+    (Metrics.counter_value c5)
+
 (* ---------------- histogram merge = recording the union -------------- *)
 
 (* Observations quantized to multiples of 0.25 so sums are exact in
@@ -419,6 +468,8 @@ let suite =
       test_disabled_is_inert;
     Alcotest.test_case "registration is idempotent, clashes rejected" `Quick
       test_registration_idempotent;
+    Alcotest.test_case "label cap bounds series cardinality" `Quick
+      test_label_cap_bounds_cardinality;
     QCheck_alcotest.to_alcotest qcheck_merge_is_union;
     Alcotest.test_case "merge rejects mismatched bounds" `Quick
       test_merge_rejects_mismatched_bounds;
