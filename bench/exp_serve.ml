@@ -102,7 +102,8 @@ let run_scenario ~config ~seed ~tenants ~requests ~burst ~kills () =
     | Serve.Wire.Quarantined_ticket { tenant; ticket; _ } ->
       if not (Hashtbl.mem outcomes (tenant, ticket)) then incr quarantined;
       Hashtbl.replace outcomes (tenant, ticket) ()
-    | Serve.Wire.Drained _ | Serve.Wire.Stats_reply _ -> ()
+    | Serve.Wire.Drained _ | Serve.Wire.Stats_reply _
+    | Serve.Wire.Metrics_text _ | Serve.Wire.Traffic_report _ -> ()
   in
   let restart () =
     incr kills_done;

@@ -130,16 +130,21 @@ let sweep_points ~smoke ~quick =
       ]
 
 let json_of_run (r : run) =
-  Printf.sprintf
-    {|{"status": %S, "objective": %s, "wall_s": %.6f, "lp_s": %.6f, "lp_iterations": %d, "warm_start_hits": %d, "warm_start_misses": %d, "warm_start_hit_rate": %s}|}
-    (Harness.status_short r.r_status)
-    (match r.r_objective with
-    | Some o -> Printf.sprintf "%.6f" o
-    | None -> "null")
-    r.r_wall r.r_lp_s r.r_lp_iters r.r_warm_hits r.r_warm_misses
-    (let total = r.r_warm_hits + r.r_warm_misses in
-     if total = 0 then "null"
-     else Printf.sprintf "%.4f" (float_of_int r.r_warm_hits /. float_of_int total))
+  Harness.(
+    Obj
+      [
+        ("status", Str (status_short r.r_status));
+        ("objective", opt (fun o -> Float o) r.r_objective);
+        ("wall_s", Float r.r_wall);
+        ("lp_s", Float r.r_lp_s);
+        ("lp_iterations", Int r.r_lp_iters);
+        ("warm_start_hits", Int r.r_warm_hits);
+        ("warm_start_misses", Int r.r_warm_misses);
+        ( "warm_start_hit_rate",
+          let total = r.r_warm_hits + r.r_warm_misses in
+          if total = 0 then Null
+          else Float (float_of_int r.r_warm_hits /. float_of_int total) );
+      ])
 
 let geomean = function
   | [] -> 1.0
@@ -228,33 +233,33 @@ let sb_gap (r : sb_run) =
 
 let sb_json ~time_limit ~reps entries =
   let point_json (name, (f : Workload.family), r) =
-    Printf.sprintf
-      {|    {"point": %S, "k": %d, "rules": %d, "paths": %d, "capacity": %d, "seed": %d,
-     "status": %S, "wall_s": %.6f, "lp_s": %.6f, "objective": %s, "root_bound": %s, "gap": %s}|}
-      name f.Workload.k f.Workload.rules f.Workload.paths f.Workload.capacity
-      f.Workload.seed
-      (Harness.status_short r.b_status)
-      r.b_wall r.b_lp_s
-      (match r.b_objective with
-      | Some o -> Printf.sprintf "%.6f" o
-      | None -> "null")
-      (match r.b_root_bound with
-      | Some b when Float.is_finite b -> Printf.sprintf "%.6f" b
-      | _ -> "null")
-      (match sb_gap r with
-      | Some g -> Printf.sprintf "%.6f" g
-      | None -> "null")
+    Harness.(
+      Obj
+        [
+          ("point", Str name);
+          ("k", Int f.Workload.k);
+          ("rules", Int f.Workload.rules);
+          ("paths", Int f.Workload.paths);
+          ("capacity", Int f.Workload.capacity);
+          ("seed", Int f.Workload.seed);
+          ("status", Str (status_short r.b_status));
+          ("wall_s", Float r.b_wall);
+          ("lp_s", Float r.b_lp_s);
+          ("objective", opt (fun o -> Float o) r.b_objective);
+          ( "root_bound",
+            match r.b_root_bound with
+            | Some b when Float.is_finite b -> Float b
+            | _ -> Null );
+          ("gap", opt (fun g -> Float g) (sb_gap r));
+        ])
   in
-  Printf.sprintf
-    {|{
-    "time_limit_s": %.1f,
-    "reps": %d,
-    "points": [
-%s
-    ]
-  }|}
-    time_limit reps
-    (String.concat ",\n" (List.map point_json entries))
+  Harness.(
+    Obj
+      [
+        ("time_limit_s", Float time_limit);
+        ("reps", Int reps);
+        ("points", List (List.map point_json entries));
+      ])
 
 let run ~title ~smoke ~quick ~time_limit ~json_path () =
   let points = sweep_points ~smoke ~quick in
@@ -381,56 +386,45 @@ let run ~title ~smoke ~quick ~time_limit ~json_path () =
          ])
        scoreboard);
   (* Machine-readable dump. *)
-  let json =
-    let point_json (p, dense, sparse) =
-      let f = p.p_family in
-      Printf.sprintf
-        {|    {"point": %S, "k": %d, "rules": %d, "paths": %d, "capacity": %d, "seed": %d,
-     "dense": %s,
-     "sparse": %s,
-     "speedup": %s, "lp_speedup": %s, "agree": %s}|}
-        p.p_name f.Workload.k f.Workload.rules f.Workload.paths
-        f.Workload.capacity f.Workload.seed
-        (match dense with Some d -> json_of_run d | None -> "null")
-        (json_of_run sparse)
-        (match dense with
-        | Some d ->
-          Printf.sprintf "%.3f" (d.r_wall /. Float.max sparse.r_wall 1e-6)
-        | None -> "null")
-        (match dense with
-        | Some d -> Printf.sprintf "%.3f" (lp_ratio d sparse)
-        | None -> "null")
-        (match Option.bind dense (fun d -> agree d sparse) with
-        | Some true -> "true"
-        | Some false -> "false"
-        | None -> "null")
-    in
-    Printf.sprintf
-      {|{
-  "experiment": "lp_engine_comparison",
-  "mode": %S,
-  "time_limit_s": %.1f,
-  "reps": %d,
-  "points": [
-%s
-  ],
-  "scoreboard": %s,
-  "geomean_speedup": %.3f,
-  "geomean_lp_speedup": %.3f,
-  "differential_failures": %d
-}
-|}
-      (if smoke then "smoke" else if quick then "quick" else "full")
-      time_limit reps
-      (String.concat ",\n" (List.map point_json results))
-      (sb_json ~time_limit ~reps:sb_reps scoreboard)
-      wall_geo lp_geo mismatches
+  let point_json (p, dense, sparse) =
+    let f = p.p_family in
+    Harness.(
+      Obj
+        [
+          ("point", Str p.p_name);
+          ("k", Int f.Workload.k);
+          ("rules", Int f.Workload.rules);
+          ("paths", Int f.Workload.paths);
+          ("capacity", Int f.Workload.capacity);
+          ("seed", Int f.Workload.seed);
+          ("dense", opt json_of_run dense);
+          ("sparse", json_of_run sparse);
+          ( "speedup",
+            opt
+              (fun d -> Float (d.r_wall /. Float.max sparse.r_wall 1e-6))
+              dense );
+          ("lp_speedup", opt (fun d -> Float (lp_ratio d sparse)) dense);
+          ( "agree",
+            opt (fun a -> Bool a) (Option.bind dense (fun d -> agree d sparse))
+          );
+        ])
   in
-  let oc = open_out json_path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc json);
-  Printf.printf "wrote %s\n" json_path;
+  Harness.(
+    write_json ~path:json_path
+      (Obj
+         [
+           ("experiment", Str "lp_engine_comparison");
+           ( "mode",
+             Str (if smoke then "smoke" else if quick then "quick" else "full")
+           );
+           ("time_limit_s", Float time_limit);
+           ("reps", Int reps);
+           ("points", List (List.map point_json results));
+           ("scoreboard", sb_json ~time_limit ~reps:sb_reps scoreboard);
+           ("geomean_speedup", Float wall_geo);
+           ("geomean_lp_speedup", Float lp_geo);
+           ("differential_failures", Int mismatches);
+         ]));
   (* Verdict for the CI canary: LP-time ratio, because on smoke-sized
      instances the shared pipeline overhead dominates wall clock and the
      wall ratio is mostly noise. *)

@@ -44,6 +44,7 @@ let ms t = Printf.sprintf "%.0f" (t *. 1000.0)
    diff and gate on.  Hand-rolled (no deps) but shared, so every
    experiment escapes strings and formats floats the same way. *)
 type json =
+  | Null
   | Bool of bool
   | Int of int
   | Float of float
@@ -51,7 +52,12 @@ type json =
   | List of json list
   | Obj of (string * json) list
 
+(* [Null]-or-value, for optional measurements the gate scripts expect
+   as JSON null rather than an absent key. *)
+let opt wrap = function Some v -> wrap v | None -> Null
+
 let rec json_to_buf buf indent = function
+  | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->

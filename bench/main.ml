@@ -10,7 +10,7 @@
                                       [--only fig7|fig8|fig9|fig10|fig11|
                                               table2|exp5|s1|b1|ablations|
                                               portfolio|chaos|update|crash|
-                                              serve|lp] *)
+                                              serve|lp|caching] *)
 
 let smoke = Array.exists (( = ) "--smoke") Sys.argv
 
@@ -19,8 +19,8 @@ let quick = smoke || Array.exists (( = ) "--quick") Sys.argv
 let no_micro = smoke || Array.exists (( = ) "--no-micro") Sys.argv
 
 (* --only NAME runs a single experiment (fig7 fig8 fig9 fig10 fig11
-   table2 exp5 s1 b1 ablations portfolio chaos update crash serve);
-   repeatable. *)
+   table2 exp5 s1 b1 ablations portfolio chaos update crash serve
+   caching); repeatable. *)
 let only =
   let rec collect i acc =
     if i >= Array.length Sys.argv then acc
@@ -213,6 +213,20 @@ let run_experiments () =
             client and kill/restart crashes, seed %d)"
            seed)
       ~seed ~smoke ();
+
+  if wants "caching" then begin
+    let ok =
+      Exp_caching.run
+        ~title:
+          (Printf.sprintf
+             "Experiment CACHE1: traffic-driven rule caching and flow \
+              delegation (seed %d)"
+             seed)
+        ~seeds:(if quick then [ seed ] else [ seed; seed + 1; seed + 2 ])
+        ~smoke ()
+    in
+    if not ok then all_ok := false
+  end;
 
   if wants "lp" then begin
     (* Warm-start and iteration tallies come from telemetry counter

@@ -166,6 +166,16 @@ type recovery = {
           undo/redo payloads.  Empty on a healthy recovery. *)
 }
 
+val peek_client :
+  store:Store.t -> unit -> (string option, string) result
+(** The most recent durable client blob in [store] — the snapshot's, or
+    the last [Ev_begin]'s in the surviving log — without constructing an
+    engine or replaying anything.  For callers whose recovery {e config}
+    itself depends on client state (the traffic controller's re-solve
+    weights live in its blob and parameterise the solve objective):
+    peek, install, then {!recover} once under the right config.
+    [Error] only when no usable snapshot exists. *)
+
 val recover :
   ?config:Runtime.Engine.config ->
   ?journal:config ->

@@ -61,6 +61,32 @@ let forward_tables tables (path : Routing.Path.t) ~tag packet =
 
 let forward_tagged t path ~tag packet = forward_tables t.tables path ~tag packet
 
+type hop = { hop_switch : int; matched : int option }
+
+let match_index tables ~switch ~tag packet =
+  let rec go i = function
+    | [] -> None
+    | e :: rest ->
+      if List.mem tag e.tags && Acl.Rule.matches e.rule packet then Some (i, e)
+      else go (i + 1) rest
+  in
+  go 0 tables.(switch)
+
+let forward_trace tables (path : Routing.Path.t) ~tag packet =
+  let n = Array.length path.switches in
+  let rec go i acc =
+    if i >= n then (Delivered, List.rev acc)
+    else
+      let switch = path.switches.(i) in
+      match match_index tables ~switch ~tag packet with
+      | Some (idx, e) when Acl.Rule.is_drop e.rule ->
+        (Dropped switch, List.rev ({ hop_switch = switch; matched = Some idx } :: acc))
+      | Some (idx, _) ->
+        go (i + 1) ({ hop_switch = switch; matched = Some idx } :: acc)
+      | None -> go (i + 1) ({ hop_switch = switch; matched = None } :: acc)
+  in
+  go 0 []
+
 let forward t (path : Routing.Path.t) packet =
   forward_tables t.tables path ~tag:path.ingress packet
 

@@ -78,4 +78,23 @@ val forward_tables :
   entry list array -> Routing.Path.t -> tag:int -> Ternary.Packet.t -> outcome
 (** {!forward_tagged} over a bare table array. *)
 
+type hop = {
+  hop_switch : int;
+  matched : int option;
+      (** index (match order) of the entry that fired, [None] when the
+          packet fell through to the implicit permit *)
+}
+(** One switch visit of a traced walk — the per-rule hit accounting the
+    traffic cache layer feeds on. *)
+
+val forward_trace :
+  entry list array ->
+  Routing.Path.t ->
+  tag:int ->
+  Ternary.Packet.t ->
+  outcome * hop list
+(** {!forward_tables}, additionally reporting which entry matched at
+    every switch visited.  Hops are in walk order; a drop ends the list
+    at the dropping switch. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit

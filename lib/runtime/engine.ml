@@ -118,6 +118,15 @@ let create ?(config = default_config) ?(fault = Fault_plan.faultless ())
     verify_prng = Prng.create config.verify_seed;
   }
 
+let reweight t weights =
+  match t.config.solve_options.Solve.objective with
+  | Encode.Switch_weighted w ->
+      if Array.length w <> Array.length weights then
+        invalid_arg "Engine.reweight: weight vector length mismatch";
+      Array.blit weights 0 w 0 (Array.length w)
+  | Encode.Total_rules | Encode.Upstream_drops ->
+      invalid_arg "Engine.reweight: objective is not Switch_weighted"
+
 (* ------------------------------------------------------------------ *)
 (* Durable state: everything a crash-safe journal must persist to
    rebuild an engine that behaves byte-for-byte like the original.

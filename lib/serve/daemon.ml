@@ -196,6 +196,31 @@ let submit t request =
   match request with
   | Wire.Drain -> drain t
   | Wire.Stats -> [ stats_reply t ]
+  | Wire.Metrics_dump ->
+    [ Wire.Metrics_text { text = Telemetry.Metrics.render () } ]
+  | Wire.Traffic_tick { seed; epoch; packets; alpha; drift; probes } ->
+    (* each shard walks its own flow universe on a shard-mixed seed;
+       the reply aggregates — read-only, so allowed even while draining *)
+    let flows = ref 0 and delivered = ref 0 and dropped = ref 0 in
+    Array.iteri
+      (fun i s ->
+        let f, d, x =
+          Shard.traffic_walk s ~seed:(seed lxor ((i * 131) + 17)) ~epoch
+            ~packets ~alpha ~drift ~probes
+        in
+        flows := !flows + f;
+        delivered := !delivered + d;
+        dropped := !dropped + x)
+      t.shards;
+    [
+      Wire.Traffic_report
+        {
+          epoch;
+          flows = !flows;
+          delivered = !delivered;
+          dropped = !dropped;
+        };
+    ]
   | Wire.Submit { tenant; op } ->
     if t.draining then [ Wire.Rejected { reason = "draining" } ]
     else if tenant < 0 then [ Wire.Rejected { reason = "negative tenant id" } ]

@@ -502,6 +502,55 @@ let recover ?(config = default_config) ?kill ~stores ~seed ~id () =
 
 let digest x = Digest.to_hex (Digest.string (Marshal.to_string x [ Marshal.No_sharing ]))
 
+(* ------------------------------------------------------------------ *)
+(* Traffic tick: walk one drifting-Zipf epoch over the live tables.
+   Stateless — a pure function of the parameters and the last-good
+   placement — so a restarted shard answers byte-identically. *)
+
+let traffic_walk t ~seed ~epoch ~packets ~alpha ~drift ~probes =
+  let e = eng t in
+  let inst = (Runtime.Engine.good e).Placement.Solution.instance in
+  let paths =
+    Array.of_list (Routing.Table.paths inst.Placement.Instance.routing)
+  in
+  let flows = Array.length paths in
+  if flows = 0 || packets <= 0 then (flows, 0, 0)
+  else begin
+    let zcfg =
+      {
+        Traffic.Zipf.flows;
+        packets;
+        alpha = Float.max 0.0 alpha;
+        drift = Float.max 0.0 drift;
+        seed;
+      }
+    in
+    let counts = (Traffic.Zipf.epoch zcfg (max 0 epoch)).Traffic.Zipf.counts in
+    let tables = Runtime.Engine.table_snapshot e in
+    let g = Prng.create (((seed * 0x100000001B3) + max 0 epoch) lxor 0x243F6A8885A308D) in
+    let probes = max 1 probes in
+    let delivered = ref 0 and dropped = ref 0 in
+    Array.iteri
+      (fun f c ->
+        if c > 0 then begin
+          let n = min c probes in
+          let q = c / n and r = c mod n in
+          let path = paths.(f) in
+          for k = 0 to n - 1 do
+            let w = if k < r then q + 1 else q in
+            let pkt = Ternary.Field.random_packet g path.Routing.Path.flow in
+            match
+              Netsim.forward_tables tables path
+                ~tag:path.Routing.Path.ingress pkt
+            with
+            | Netsim.Delivered -> delivered := !delivered + w
+            | Netsim.Dropped _ -> dropped := !dropped + w
+          done
+        end)
+      counts;
+    (flows, !delivered, !dropped)
+  end
+
 let cs_view cs =
   ( cs.cs_done_below,
     cs.cs_done,

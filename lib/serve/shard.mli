@@ -155,6 +155,22 @@ val recover :
 
 (** {1 Inspection} *)
 
+val traffic_walk :
+  t ->
+  seed:int ->
+  epoch:int ->
+  packets:int ->
+  alpha:float ->
+  drift:float ->
+  probes:int ->
+  int * int * int
+(** [(flows, delivered, dropped)] of walking one {!Traffic.Zipf} epoch's
+    probe packets over the shard's live tables (traffic-weighted; the
+    daemon's [Traffic_tick] wire op).  Stateless: a pure function of the
+    parameters and the live placement, so equal requests to a restarted
+    shard get equal answers.  Malformed parameters are clamped, never
+    raised on. *)
+
 val signature : t -> string
 (** Digest of the shard's complete observable state: live tables,
     quarantine set, dead infrastructure, entry count, event count.

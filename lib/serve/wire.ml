@@ -7,7 +7,19 @@ type op =
   | Disconnect
   | Chaos of chaos
 
-type request = Submit of { tenant : int; op : op } | Drain | Stats
+type request =
+  | Submit of { tenant : int; op : op }
+  | Drain
+  | Stats
+  | Metrics_dump
+  | Traffic_tick of {
+      seed : int;
+      epoch : int;
+      packets : int;
+      alpha : float;
+      drift : float;
+      probes : int;
+    }
 
 type scope = Global | Tenant
 
@@ -37,6 +49,13 @@ type reply =
       shed : int;
       pending : int;
     }
+  | Metrics_text of { text : string }
+  | Traffic_report of {
+      epoch : int;
+      flows : int;
+      delivered : int;
+      dropped : int;
+    }
 
 let chaos_name = function
   | Kill_switch -> "kill-switch"
@@ -54,6 +73,11 @@ let describe_request = function
   | Submit { tenant; op } -> Printf.sprintf "submit t%d %s" tenant (op_name op)
   | Drain -> "drain"
   | Stats -> "stats"
+  | Metrics_dump -> "metrics-dump"
+  | Traffic_tick { seed; epoch; packets; alpha; drift; probes } ->
+    Printf.sprintf
+      "traffic-tick seed=%d epoch=%d packets=%d alpha=%g drift=%g probes=%d"
+      seed epoch packets alpha drift probes
 
 let scope_name = function Global -> "global" | Tenant -> "tenant"
 
@@ -73,6 +97,11 @@ let describe_reply = function
     Printf.sprintf
       "stats tenants=%d accepted=%d applied=%d quarantined=%d shed=%d pending=%d"
       tenants accepted applied quarantined shed pending
+  | Metrics_text { text } ->
+    Printf.sprintf "metrics (%d bytes)" (String.length text)
+  | Traffic_report { epoch; flows; delivered; dropped } ->
+    Printf.sprintf "traffic epoch=%d flows=%d delivered=%d dropped=%d" epoch
+      flows delivered dropped
 
 let encode_request (r : request) = Journal.Wal.frame (Marshal.to_string r [])
 let encode_reply (r : reply) = Journal.Wal.frame (Marshal.to_string r [])

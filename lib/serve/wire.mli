@@ -31,6 +31,23 @@ type request =
       (** stop admitting, process everything in flight, snapshot every
           shard, reply {!Drained} *)
   | Stats
+  | Metrics_dump
+      (** dump the daemon's telemetry registry in Prometheus exposition
+          format; reply {!Metrics_text} *)
+  | Traffic_tick of {
+      seed : int;
+      epoch : int;
+      packets : int;
+      alpha : float;
+      drift : float;
+      probes : int;
+    }
+      (** walk one drifting-Zipf traffic epoch (see {!Traffic.Zipf})
+          over every shard's live tables and report the aggregate
+          outcome; stateless in the daemon — the whole walk is a pure
+          function of these parameters and the live placement, so a
+          restarted daemon answers identically.  Reply
+          {!Traffic_report}. *)
 
 type scope =
   | Global  (** the daemon-wide admission queue is full *)
@@ -71,6 +88,14 @@ type reply =
       quarantined : int;
       shed : int;
       pending : int;
+    }
+  | Metrics_text of { text : string }
+      (** Prometheus exposition text (see {!Telemetry.Metrics.render}) *)
+  | Traffic_report of {
+      epoch : int;
+      flows : int;  (** routed paths walked, summed over shards *)
+      delivered : int;  (** traffic-weighted packets delivered *)
+      dropped : int;  (** traffic-weighted packets dropped on-path *)
     }
 
 val describe_request : request -> string

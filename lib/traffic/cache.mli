@@ -1,0 +1,155 @@
+(** Popularity-driven TCAM caching with neighbor delegation.
+
+    The runtime engine's live tables are the {e full} placement — the
+    solver-verified ground truth.  Real switches hold a smaller
+    hardware TCAM, so this layer maintains, per switch, a {e resident}
+    subset under a hardware capacity, plus {e delegated} copies of
+    evicted DROPs on neighbor switches along the affected paths — the
+    FDRC/flow-delegation scheme.  A packet that misses falls through
+    the switch's implicit low-priority default (permit and continue),
+    and is still decided correctly later on its path:
+
+    - {b permit-safety}: a resident DROP's higher-priority overlapping
+      same-tag PERMITs (its guards) are always co-resident at the same
+      switch, above it — so no cached table ever drops a packet the
+      big-switch policy permits;
+    - {b drop-safety}: for every (policy DROP, routed path) pair the
+      full placement covers, some switch on the path retains the DROP
+      (resident at a home switch, or a delegated copy with its guards
+      at a neighbor) — so every policy-dropped packet still dies
+      on-path.
+
+    When a DROP can neither stay nor delegate (no neighbor has room),
+    it is {e force-pinned} at its home switch; the excess over hardware
+    capacity is reported as [overflow] instead of ever trading
+    correctness for space.
+
+    Eviction policy: per-rule hit counters from traced {!Netsim} walks,
+    aged by an exponential decay each epoch; each {!rebalance}
+    recomputes the hottest feasible resident set.  All decisions are
+    deterministic functions of the accounted traffic, so equal seeds
+    give equal cache states, and the whole struct is plain data — it
+    rides a journal client blob for crash-resume. *)
+
+type config = {
+  hw_capacity : int array;  (** per-switch hardware TCAM slots *)
+  decay : float;  (** per-epoch score retention in [0,1] (default 0.5) *)
+}
+
+val default_decay : float
+
+type t
+
+val create :
+  ?decay:float ->
+  net:Topo.Net.t ->
+  paths:Routing.Path.t list ->
+  hw:int array ->
+  Netsim.entry list array ->
+  t
+(** [create ~net ~paths ~hw full] boots the cache over the full tables;
+    nothing is resident until the first {!rebalance}.  [paths] is the
+    flow universe (the instance routing).  Raises [Invalid_argument]
+    when [hw] length differs from the switch count. *)
+
+val refresh : t -> ?paths:Routing.Path.t list -> Netsim.entry list array -> unit
+(** Adopt new full tables (after a re-solve or churn event): entry
+    metadata and coverage units are rebuilt, popularity scores carry
+    over by rule identity — (tag, priority, action) — so a migrated
+    rule keeps its history, residency is cleared until the next
+    {!rebalance}.  Delegations are folded back — the re-solved
+    placement supersedes them. *)
+
+val cached_tables : t -> Netsim.entry list array
+(** The hardware view: per-switch resident + delegated entries in
+    match order (priority-descending per tag). *)
+
+val full_tables : t -> Netsim.entry list array
+
+type walk = {
+  w_full : Netsim.outcome;
+  w_cached : Netsim.outcome;
+  w_hit : bool;  (** every full-table match was resident at its switch *)
+}
+
+val account : t -> path:Routing.Path.t -> weight:int -> Ternary.Packet.t -> walk
+(** Walk one probe packet (standing for [weight] identical packets of
+    its flow) along its path through both the full and the cached
+    tables: per-rule hit counters are bumped by [weight] at every
+    full-table match, the hit/miss tallies are updated, and both
+    outcomes are returned — a disagreement is a correctness violation
+    the caller must surface. *)
+
+val decay : t -> unit
+(** Age every popularity score and per-ingress miss mass by the
+    configured retention factor (call once per epoch, before
+    accounting). *)
+
+val miss_masses : t -> (int * float) list
+(** Decayed miss weight per ingress tag, ascending by tag — which
+    ingresses' traffic the cached tables are currently failing to serve
+    at home.  The re-solve policy's targeting signal. *)
+
+val clear_miss : t -> int -> unit
+(** Forget one ingress's miss mass (call when it has been re-solved:
+    the new placement gets a clean slate). *)
+
+type rebalance_stats = {
+  resident : int;  (** resident entries after the pass (all switches) *)
+  delegated : int;  (** delegated copies installed *)
+  evictions : int;  (** entries resident before the pass, gone after *)
+  delegations_new : int;  (** delegated drops not delegated before *)
+  pinned : int;  (** force-pinned coverage units (no delegate had room) *)
+  overflow : int;  (** slots in excess of hw capacity, summed *)
+}
+
+val rebalance : ?pinned_tags:int list -> t -> rebalance_stats
+(** Recompute residency from current scores: per switch, keep the
+    hottest DROPs (with their guards) under hardware capacity; repair
+    every uncovered (DROP, path) unit by delegation to the
+    most-underutilized on-path neighbor, force-pinning when no
+    neighbor has room.  [pinned_tags] (e.g. quarantined ingresses)
+    are always resident.  Deterministic given scores. *)
+
+type check_report = {
+  guard_violations : int;
+  coverage_violations : int;
+  capacity_violations : int;  (** switches over hw capacity beyond reported overflow *)
+}
+
+val check : t -> check_report
+(** Structural self-check of the invariants above on the current cached
+    tables; all-zero on a correct state (the bench gates on it). *)
+
+val hits : t -> int
+val misses : t -> int
+val delegated_hits : t -> int
+(** Cached-table matches served by a delegated copy (subset of the hit
+    tally's complement accounting; informational). *)
+
+val hit_rate : t -> float
+(** hits / (hits + misses); 1.0 when nothing was accounted. *)
+
+val reset_counters : t -> unit
+
+val occupancy : t -> float array
+(** Per-switch full-table size divided by hardware capacity — how
+    oversubscribed each TCAM already is, popularity aside. *)
+
+val score_pressure : t -> float array
+(** Per-switch decayed popularity mass homed at each switch divided by
+    its hardware capacity — the cache-pressure signal the re-solve
+    policy turns into {!Placement.Encode.Switch_weighted} costs. *)
+
+val capture : t -> string
+(** Marshal the cache state (scores, residency, delegations, tallies)
+    for a journal client blob. *)
+
+val restore :
+  net:Topo.Net.t ->
+  paths:Routing.Path.t list ->
+  Netsim.entry list array ->
+  string ->
+  t
+(** Rebuild from {!capture} output plus the (re-derivable) topology,
+    paths and full tables the blob was captured against. *)

@@ -1,0 +1,122 @@
+(** The traffic-driven caching controller: one epoch loop tying the
+    drifting-Zipf workload ({!Zipf}), the TCAM cache ({!Cache}) and the
+    crash-safe runtime ({!Journal.Journaled} around {!Runtime.Engine})
+    together.
+
+    Each epoch: draw the next traffic matrix; age the popularity scores;
+    walk one probe packet per traffic share through {e both} the full
+    and the cached tables (differential correctness check + hit
+    accounting); when popularity has drifted past the threshold since
+    the last re-solve, push the cache-pressure signal into the solver's
+    {!Placement.Encode.Switch_weighted} objective
+    ({!Runtime.Engine.reweight}) and re-solve the most-drifted ingresses
+    as deadline-bounded incremental [Update_policy] events through the
+    journaled engine; finally rebalance the cache and emit one
+    deterministic report line.
+
+    Determinism and durability:
+    - equal configs give byte-identical {!line} sequences (all
+      randomness flows from the family seed's named substreams; report
+      lines carry no wall-clock fields);
+    - every re-solve event rides the journal with a client blob holding
+      the complete controller state, and every epoch boundary forces a
+      snapshot — {!resume} re-enters the loop after a crash at {e any}
+      point and converges to the same report sequence and cache state
+      as an uncrashed run;
+    - the static baseline ([adaptive = false]) places the cache once,
+      popularity-blind, and never adapts — the no-cache-management
+      baseline the adaptive hit-rate is gated against. *)
+
+type config = {
+  family : Workload.family;  (** instance recipe (topology/routing/policies) *)
+  epochs : int;  (** epochs to run *)
+  packets : int;  (** exact packets per epoch *)
+  alpha : float;  (** Zipf exponent *)
+  drift : float;  (** rank transpositions per epoch / flows *)
+  probes : int;  (** max probe packets per flow per epoch (>= 1) *)
+  hw_frac : float;
+      (** hardware TCAM capacity as a fraction of each switch's full
+          table (floor 1 slot; see {!hw_of_frac}) *)
+  decay : float;  (** per-epoch popularity retention *)
+  threshold : float;
+      (** re-solve when L1 drift since the last re-solve exceeds this
+          fraction of the maximum possible drift (2 x packets) *)
+  resolve_top : int;  (** most-drifted ingresses re-solved per trigger *)
+  adaptive : bool;  (** false = static baseline (no decay/resolve/rebalance) *)
+  deadline_s : float;  (** per-event runtime budget *)
+}
+
+val default : config
+(** [Workload.default] family, 6 epochs, 4096 packets, alpha 1.1, drift
+    0.125, 4 probes, hw_frac 0.5, threshold 0.08, top 2, adaptive. *)
+
+val hw_of_frac : ?floor:int -> Netsim.entry list array -> float -> int array
+(** Per-switch hardware capacity: [frac] of the full table size, rounded
+    to nearest, never below [floor] (default 1). *)
+
+type epoch_report = {
+  e_index : int;
+  e_drift : int;  (** L1 popularity drift since the last re-solve *)
+  e_resolved : int list;  (** ingresses re-solved this epoch *)
+  e_rungs : string list;  (** ladder rung per re-solve event *)
+  e_hits : int;  (** this epoch's cache hits (traffic-weighted) *)
+  e_misses : int;
+  e_dhits : int;  (** hits served by a delegated copy *)
+  e_violations : int;  (** full-vs-cached outcome disagreements *)
+  e_stats : Cache.rebalance_stats;
+  e_check : Cache.check_report;
+}
+
+val line : epoch_report -> string
+(** Canonical timing-free rendering — the byte-identical replay
+    contract is over these. *)
+
+type t
+
+val create :
+  ?store:Journal.Store.t ->
+  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  config ->
+  t
+(** Build the instance, solve the initial placement (under the weighted
+    objective when adaptive), boot the journaled engine on [store]
+    (default: a fresh in-memory store), place the cache and persist
+    snapshot zero.  [kill] is the journal's simulated-crash hook (see
+    {!Journal.Journaled.kill_point}) — the crash-resume tests raise
+    {!Journal.Journaled.Killed} from it mid-epoch and {!resume} from the
+    same store.  Raises [Invalid_argument] when the initial solve fails
+    or the config is malformed. *)
+
+val resume : store:Journal.Store.t -> config -> (t, string) result
+(** Re-enter a crashed run from its journal.  [config] must equal the
+    original (it is not persisted).  Replays the log, restores the
+    cache and epoch position from the client blob, and finishes any
+    half-done epoch on the first {!step} — converging to the same
+    report sequence as an uncrashed run.  [Error] on an unusable store
+    or a replay divergence. *)
+
+val step : t -> epoch_report option
+(** Run the next epoch ([None] when [epochs] are done).  Spans
+    ["traffic.epoch"] when tracing is enabled. *)
+
+val run : t -> epoch_report list
+(** {!step} to completion; returns {e all} epoch reports in order,
+    including ones produced before a crash/resume. *)
+
+val reports : t -> epoch_report list
+(** All epoch reports so far, in order. *)
+
+val epoch : t -> int
+(** Next epoch index to run. *)
+
+val config : t -> config
+
+val cache : t -> Cache.t
+
+val engine : t -> Runtime.Engine.t
+
+val resolves : t -> int
+(** Total re-solve events issued. *)
+
+val violations : t -> int
+(** Total differential violations observed (gate: zero). *)

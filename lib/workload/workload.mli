@@ -38,3 +38,16 @@ val build : family -> Placement.Instance.t
 
 val ingresses : Topo.Net.t -> ingress_mode -> int -> int list
 (** The ingress hosts a family with this mode and policy count uses. *)
+
+(** {2 Named seed substreams}
+
+    Every purpose draws from an independent stream of the family seed,
+    so consuming one stream never perturbs another.  [build] uses the
+    routing and policy streams; the traffic stream feeds the dynamic
+    Zipf workload ([Traffic.Zipf]) layered on a family's paths. *)
+
+val routing_stream : family -> Prng.t
+
+val policy_stream : family -> Prng.t
+
+val traffic_stream : family -> Prng.t

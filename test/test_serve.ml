@@ -53,6 +53,9 @@ let sample_requests =
     Wire.Submit { tenant = 1; op = Wire.Chaos Wire.Kill_switch };
     Wire.Submit { tenant = 1; op = Wire.Chaos Wire.Cut_link };
     Wire.Submit { tenant = 3; op = Wire.Chaos Wire.Shrink_capacity };
+    Wire.Metrics_dump;
+    Wire.Traffic_tick
+      { seed = 5; epoch = 2; packets = 512; alpha = 1.1; drift = 0.25; probes = 2 };
     Wire.Stats;
     Wire.Drain;
   ]
@@ -75,6 +78,8 @@ let sample_replies =
       };
     Wire.Quarantined_ticket { tenant = 2; ticket = 9; reason = "no route" };
     Wire.Drained { processed = 41 };
+    Wire.Metrics_text { text = "# TYPE x_total counter\nx_total 3\n" };
+    Wire.Traffic_report { epoch = 2; flows = 9; delivered = 480; dropped = 32 };
     Wire.Stats_reply
       {
         tenants = 3;
@@ -214,6 +219,59 @@ let test_admission_bounds_typed () =
   match Daemon.submit d (Wire.Submit { tenant = 5; op = Wire.Flow }) with
   | [ Wire.Rejected { reason = "draining" } ] -> ()
   | _ -> Alcotest.fail "submit after drain not refused"
+
+(* ---------------- metrics and traffic wire ops ----------------------- *)
+
+let test_metrics_and_traffic_ops () =
+  let build () =
+    let stores, _ = mem_stores 1 in
+    let d = Daemon.create ~config:small_config ~stores () in
+    List.iter
+      (fun tenant ->
+        match
+          Daemon.submit d
+            (Wire.Submit { tenant; op = Wire.Connect { rules = 2 } })
+        with
+        | [ Wire.Accepted _ ] -> ()
+        | rs -> Alcotest.failf "connect not acked: %d replies" (List.length rs))
+      [ 0; 1 ];
+    ignore (Daemon.tick d);
+    d
+  in
+  let d = build () in
+  (match Daemon.submit d Wire.Metrics_dump with
+  | [ Wire.Metrics_text { text } ] ->
+    (match Telemetry.Metrics.check_exposition text with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "exposition rejected: %s" e);
+    let contains needle =
+      let n = String.length needle and h = String.length text in
+      let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "accepted counter exposed" true
+      (contains "sdnplace_serve_accepted_total")
+  | rs -> Alcotest.failf "expected one metrics reply, got %d" (List.length rs));
+  let tick =
+    Wire.Traffic_tick
+      { seed = 11; epoch = 1; packets = 256; alpha = 1.1; drift = 0.25;
+        probes = 2 }
+  in
+  let report d =
+    match Daemon.submit d tick with
+    | [ (Wire.Traffic_report { epoch; flows; delivered; dropped } as r) ] ->
+      Alcotest.(check int) "epoch echoed" 1 epoch;
+      Alcotest.(check bool) "flows after connects" true (flows > 0);
+      Alcotest.(check bool) "all packet weight accounted" true
+        (delivered + dropped = 256);
+      r
+    | rs -> Alcotest.failf "expected one traffic reply, got %d" (List.length rs)
+  in
+  let r1 = report d in
+  Alcotest.(check bool) "tick is stateless on one daemon" true (report d = r1);
+  let d2 = build () in
+  Alcotest.(check bool) "equal daemons answer ticks identically" true
+    (report d2 = r1)
 
 (* ---------------- breaker state machine ------------------------------ *)
 
@@ -498,6 +556,8 @@ let suite =
     Alcotest.test_case "wire codec survives torn and corrupt streams" `Quick
       test_wire_torn_and_corrupt;
     Alcotest.test_case "framed channel reader" `Quick test_wire_read_message;
+    Alcotest.test_case "metrics dump and traffic tick wire ops" `Quick
+      test_metrics_and_traffic_ops;
     Alcotest.test_case "admission bounds are typed, acked events land" `Quick
       test_admission_bounds_typed;
     Alcotest.test_case "circuit breaker trips, cools down, closes" `Quick

@@ -1,0 +1,215 @@
+(* Traffic-driven caching: Zipf drift properties, cache correctness
+   under eviction/delegation, controller determinism and crash-resume. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Zipf drift properties                                               *)
+
+let zipf_gen =
+  QCheck.Gen.(
+    let* flows = 1 -- 40 in
+    let* packets = 0 -- 5000 in
+    let* alpha = float_bound_inclusive 2.0 in
+    let* drift = float_bound_inclusive 1.0 in
+    let* seed = 0 -- 10_000 in
+    return { Traffic.Zipf.flows; packets; alpha; drift; seed })
+
+let zipf_print (c : Traffic.Zipf.config) =
+  Printf.sprintf "{flows=%d; packets=%d; alpha=%g; drift=%g; seed=%d}"
+    c.Traffic.Zipf.flows c.packets c.alpha c.drift c.seed
+
+let zipf_arb = QCheck.make ~print:zipf_print zipf_gen
+
+let epochs_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Traffic.Zipf.epoch) (y : Traffic.Zipf.epoch) ->
+         x.Traffic.Zipf.index = y.Traffic.Zipf.index
+         && x.Traffic.Zipf.counts = y.Traffic.Zipf.counts)
+       a b
+
+let qcheck_zipf_deterministic =
+  QCheck.Test.make ~name:"equal seeds give identical epoch matrices" ~count:50
+    zipf_arb (fun cfg ->
+      epochs_equal (Traffic.Zipf.epochs cfg 6) (Traffic.Zipf.epochs cfg 6))
+
+let qcheck_zipf_mass =
+  QCheck.Test.make ~name:"drift preserves total traffic mass" ~count:50
+    zipf_arb (fun cfg ->
+      List.for_all
+        (fun (e : Traffic.Zipf.epoch) ->
+          Array.fold_left ( + ) 0 e.Traffic.Zipf.counts
+          = cfg.Traffic.Zipf.packets)
+        (Traffic.Zipf.epochs cfg 8))
+
+let qcheck_zipf_prefix =
+  QCheck.Test.make ~name:"a longer run leaves earlier epochs untouched"
+    ~count:50 zipf_arb (fun cfg ->
+      let short = Traffic.Zipf.epochs cfg 4 in
+      let long = Traffic.Zipf.epochs cfg 9 in
+      epochs_equal short (List.filteri (fun i _ -> i < 4) long))
+
+let test_zipf_at () =
+  let cfg = { Traffic.Zipf.default with seed = 7; drift = 0.3 } in
+  let all = Traffic.Zipf.epochs cfg 8 in
+  List.iteri
+    (fun i (e : Traffic.Zipf.epoch) ->
+      let r = Traffic.Zipf.epoch cfg i in
+      Alcotest.(check int) "index" e.Traffic.Zipf.index r.Traffic.Zipf.index;
+      Alcotest.(check bool) "counts" true
+        (e.Traffic.Zipf.counts = r.Traffic.Zipf.counts))
+    all;
+  (* a stream re-entered at i continues like the original *)
+  let t = Traffic.Zipf.at cfg 5 in
+  (* bind sequentially: a list literal evaluates right-to-left *)
+  let e5 = Traffic.Zipf.next t in
+  let e6 = Traffic.Zipf.next t in
+  let e7 = Traffic.Zipf.next t in
+  let tail = [ e5; e6; e7 ] in
+  epochs_equal tail (List.filteri (fun i _ -> i >= 5) all)
+  |> Alcotest.(check bool) "resumed tail" true
+
+(* ------------------------------------------------------------------ *)
+(* Controller: correctness, determinism, baseline comparison           *)
+
+(* seed 2 of this family both re-solves under drift and beats the
+   static baseline — the one config exercises every assertion below *)
+let small_family =
+  {
+    Workload.default with
+    Workload.seed = 2;
+    num_policies = 4;
+    rules = 10;
+    paths = 24;
+    capacity = 80;
+  }
+
+let small cfg_adaptive =
+  {
+    Traffic.Controller.default with
+    family = small_family;
+    epochs = 10;
+    packets = 4096;
+    alpha = 1.3;
+    probes = 4;
+    hw_frac = 0.3;
+    threshold = 0.05;
+    adaptive = cfg_adaptive;
+  }
+
+let lines t = List.map Traffic.Controller.line (Traffic.Controller.reports t)
+
+let test_controller_clean_run () =
+  let t = Traffic.Controller.create (small true) in
+  let reps = Traffic.Controller.run t in
+  Alcotest.(check int) "epochs" 10 (List.length reps);
+  Alcotest.(check int) "zero differential violations" 0
+    (Traffic.Controller.violations t);
+  List.iter
+    (fun (r : Traffic.Controller.epoch_report) ->
+      Alcotest.(check int) "guard violations" 0
+        r.Traffic.Controller.e_check.Traffic.Cache.guard_violations;
+      Alcotest.(check int) "coverage violations" 0
+        r.Traffic.Controller.e_check.Traffic.Cache.coverage_violations;
+      Alcotest.(check int) "capacity violations" 0
+        r.Traffic.Controller.e_check.Traffic.Cache.capacity_violations)
+    reps;
+  Alcotest.(check bool) "drift triggered at least one re-solve" true
+    (Traffic.Controller.resolves t > 0)
+
+let test_controller_deterministic () =
+  let a = Traffic.Controller.create (small true) in
+  let b = Traffic.Controller.create (small true) in
+  ignore (Traffic.Controller.run a);
+  ignore (Traffic.Controller.run b);
+  Alcotest.(check (list string)) "equal-seed report lines" (lines a) (lines b)
+
+let hit_rate reps =
+  let h, m =
+    List.fold_left
+      (fun (h, m) (r : Traffic.Controller.epoch_report) ->
+        (h + r.Traffic.Controller.e_hits, m + r.Traffic.Controller.e_misses))
+      (0, 0) reps
+  in
+  if h + m = 0 then 1.0 else float_of_int h /. float_of_int (h + m)
+
+let test_adaptive_beats_static () =
+  let adaptive = Traffic.Controller.create (small true) in
+  let static = Traffic.Controller.create (small false) in
+  let ra = Traffic.Controller.run adaptive in
+  let rs = Traffic.Controller.run static in
+  Alcotest.(check int) "static never re-solves" 0
+    (Traffic.Controller.resolves static);
+  Alcotest.(check int) "static stays correct too" 0
+    (Traffic.Controller.violations static);
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive hit-rate (%.4f) >= static (%.4f)" (hit_rate ra)
+       (hit_rate rs))
+    true
+    (hit_rate ra >= hit_rate rs)
+
+(* ------------------------------------------------------------------ *)
+(* Crash-resume                                                        *)
+
+let test_resume_at_boundary () =
+  let reference = Traffic.Controller.create (small true) in
+  ignore (Traffic.Controller.run reference);
+  let store, _mem = Journal.Store.memory () in
+  let t = Traffic.Controller.create ~store (small true) in
+  ignore (Traffic.Controller.step t);
+  ignore (Traffic.Controller.step t);
+  (* abandon [t] — the journal is the only survivor *)
+  match Traffic.Controller.resume ~store (small true) with
+  | Error e -> Alcotest.fail e
+  | Ok resumed ->
+    Alcotest.(check int) "resumes at epoch 2" 2
+      (Traffic.Controller.epoch resumed);
+    ignore (Traffic.Controller.run resumed);
+    Alcotest.(check (list string)) "byte-identical report lines"
+      (lines reference) (lines resumed)
+
+let test_resume_mid_epoch () =
+  let reference = Traffic.Controller.create (small true) in
+  ignore (Traffic.Controller.run reference);
+  (* kill at successive journal write-protocol boundaries; each crashed
+     run is resumed from its store and must converge to the reference *)
+  List.iter
+    (fun nth ->
+      let store, mem = Journal.Store.memory () in
+      let hits = ref 0 in
+      let kill _ =
+        incr hits;
+        if !hits = nth then raise (Journal.Journaled.Killed "chaos")
+      in
+      let t = Traffic.Controller.create ~store ~kill (small true) in
+      let crashed = ref false in
+      (try ignore (Traffic.Controller.run t)
+       with Journal.Journaled.Killed _ ->
+         crashed := true;
+         Journal.Store.crash mem);
+      if !crashed then
+        match Traffic.Controller.resume ~store (small true) with
+        | Error e -> Alcotest.fail (Printf.sprintf "kill %d: %s" nth e)
+        | Ok resumed ->
+          ignore (Traffic.Controller.run resumed);
+          Alcotest.(check (list string))
+            (Printf.sprintf "kill %d converges" nth)
+            (lines reference) (lines resumed))
+    [ 1; 2; 3; 5; 8; 13 ]
+
+let suite =
+  [
+    qtest qcheck_zipf_deterministic;
+    qtest qcheck_zipf_mass;
+    qtest qcheck_zipf_prefix;
+    Alcotest.test_case "zipf stateless regeneration" `Quick test_zipf_at;
+    Alcotest.test_case "adaptive run is correct" `Quick test_controller_clean_run;
+    Alcotest.test_case "equal seeds, equal reports" `Quick
+      test_controller_deterministic;
+    Alcotest.test_case "adaptive >= static hit-rate" `Quick
+      test_adaptive_beats_static;
+    Alcotest.test_case "crash-resume at epoch boundary" `Quick
+      test_resume_at_boundary;
+    Alcotest.test_case "crash-resume mid-epoch" `Quick test_resume_mid_epoch;
+  ]
