@@ -963,7 +963,7 @@ let serve_session daemon ic oc =
   session
 
 let serve_run metrics trace dir socket seed shards queue_limit
-    tenant_queue_limit capacity fail_on_shed =
+    tenant_queue_limit capacity jobs batch_fsync max_sessions fail_on_shed =
   with_telemetry metrics trace @@ fun () ->
   protect @@ fun () ->
   let config =
@@ -973,6 +973,8 @@ let serve_run metrics trace dir socket seed shards queue_limit
       shards;
       queue_limit;
       tenant_queue_limit;
+      jobs;
+      batch_fsync;
       shard =
         { Serve.Shard.default_config with Serve.Shard.capacity };
     }
@@ -1001,13 +1003,17 @@ let serve_run metrics trace dir socket seed shards queue_limit
           try Sys.remove path with Sys_error _ -> ())
         (fun () ->
           Unix.bind fd (Unix.ADDR_UNIX path);
-          Unix.listen fd 1;
-          Printf.eprintf "sdnplace: listening on %s\n%!" path;
-          let client, _ = Unix.accept fd in
-          let ic = Unix.in_channel_of_descr client in
-          let oc = Unix.out_channel_of_descr client in
-          ignore (serve_session daemon ic oc);
-          try Unix.close client with Unix.Unix_error _ -> ()));
+          Unix.listen fd max_sessions;
+          Printf.eprintf "sdnplace: listening on %s (up to %d sessions)\n%!"
+            path max_sessions;
+          let served =
+            Serve.Daemon.serve_sessions daemon ~listen:fd ~max_sessions ()
+          in
+          Printf.eprintf "sdnplace: served %d sessions, %d requests, %s\n%!"
+            served.Serve.Daemon.sessions served.Serve.Daemon.total_requests
+            (if served.Serve.Daemon.drain_requested then "drained on request"
+             else "drained on disconnect")));
+    Serve.Daemon.shutdown daemon;
     (match Serve.Daemon.stats_reply daemon with
     | Serve.Wire.Stats_reply { tenants; accepted; applied; quarantined; shed;
                                pending } ->
@@ -1038,8 +1044,9 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
-            "Listen on a Unix domain socket and serve one client session; \
-             default is one session over stdin/stdout.")
+            "Listen on a Unix domain socket and serve up to \
+             $(b,--max-sessions) concurrent client sessions over one \
+             admission path; default is one session over stdin/stdout.")
   in
   let seed =
     Arg.(
@@ -1081,6 +1088,35 @@ let serve_cmd =
       & info [ "capacity" ] ~docv:"C"
           ~doc:"Per-switch ACL capacity of each shard's fat-tree.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"J"
+          ~doc:
+            "Worker domains for shard batch execution.  $(docv)=1 is the \
+             fully sequential reference; any higher value overlaps \
+             independent shards' solve and journal-commit work while \
+             producing byte-identical replies and state — equal seeds give \
+             equal results at every $(docv).")
+  in
+  let batch_fsync =
+    Arg.(
+      value & opt int 1
+      & info [ "batch-fsync" ] ~docv:"N"
+          ~doc:
+            "Group-commit window for the intake log: stage up to $(docv) \
+             admissions per covering fsync instead of one fsync each.  An \
+             event is still acked only after a barrier covers its record — \
+             $(docv)=1 keeps the sync-every-admission behaviour.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 4
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Concurrent sessions accepted on $(b,--socket) (ignored \
+             without it).")
+  in
   let fail_on_shed =
     Arg.(
       value & flag
@@ -1105,7 +1141,8 @@ let serve_cmd =
           $(b,--fail-on-shed).")
     Term.(
       const serve_run $ metrics_arg $ trace_arg $ dir $ socket $ seed $ shards
-      $ queue_limit $ tenant_queue_limit $ capacity $ fail_on_shed)
+      $ queue_limit $ tenant_queue_limit $ capacity $ jobs $ batch_fsync
+      $ max_sessions $ fail_on_shed)
 
 let main_cmd =
   Cmd.group

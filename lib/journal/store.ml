@@ -65,6 +65,39 @@ let snapshot_of m = m.snap
 let set_snapshot m s = m.snap <- s
 
 (* ------------------------------------------------------------------ *)
+(* Group-commit wrapper                                                *)
+
+module Batched = struct
+  type store = t
+
+  type t = {
+    store : store;
+    mutable staged : int;
+    mutable appends : int;
+    mutable syncs : int;
+  }
+
+  let wrap store = { store; staged = 0; appends = 0; syncs = 0 }
+
+  let append t bytes =
+    t.store.wal_append bytes;
+    t.staged <- t.staged + 1;
+    t.appends <- t.appends + 1
+
+  let flush t =
+    if t.staged > 0 then begin
+      t.store.wal_sync ();
+      t.syncs <- t.syncs + 1;
+      t.staged <- 0
+    end
+
+  let note_durable t = t.staged <- 0
+  let staged t = t.staged
+  let appends t = t.appends
+  let syncs t = t.syncs
+end
+
+(* ------------------------------------------------------------------ *)
 (* File-backed store                                                   *)
 
 let write_all fd s =

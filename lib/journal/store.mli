@@ -55,6 +55,47 @@ val snapshot_of : memory -> string option
 val set_snapshot : memory -> string option -> unit
 (** Replace or erase the durable snapshot blob directly. *)
 
+(** {1 Group-commit wrapper}
+
+    Batched append/fsync over a raw store's WAL half — the serving
+    layer's intake logs accumulate the records admitted in one poll
+    cycle and pay the durability barrier {e once per batch} instead of
+    once per record.  The wrapper only counts; the invariant (nothing is
+    acknowledged before a barrier covering its append) is the caller's
+    protocol, checked by its staged count reading zero. *)
+module Batched : sig
+  type store := t
+  type t
+
+  val wrap : store -> t
+  (** A fresh wrapper (zero staged, zero counters) over [store]. *)
+
+  val append : t -> string -> unit
+  (** [wal_append] the bytes and stage them: they are {e not} durable
+      until the next {!flush} (or an out-of-band {!note_durable}). *)
+
+  val flush : t -> unit
+  (** Durability barrier for every staged append — [wal_sync] exactly
+      once, skipped entirely when nothing is staged (an idle flush costs
+      nothing). *)
+
+  val note_durable : t -> unit
+  (** Declare the staged appends durable through some other barrier —
+      the intake compaction path, which moves pending records into the
+      atomic snapshot slot (durable on return) before truncating the
+      log they were staged in. *)
+
+  val staged : t -> int
+  (** Appends not yet covered by a barrier. *)
+
+  val appends : t -> int
+  (** Total appends since {!wrap}. *)
+
+  val syncs : t -> int
+  (** Total [wal_sync] barriers actually issued since {!wrap} — the
+      denominator of the bench's fsyncs-per-event measurement. *)
+end
+
 (** {1 File-backed store} *)
 
 val file : dir:string -> t

@@ -19,9 +19,27 @@
     - {e crash-resume}: {!start} recovers every shard that has a durable
       snapshot and re-queues acked-but-unprocessed tickets.
 
-    The daemon is single-threaded and clock-free: its entire behaviour
-    is a deterministic function of the request sequence and the seed,
-    which is what the equal-seeds/equal-signatures bench gate checks. *)
+    {b Parallel rounds.}  Each scheduling round splits into a
+    sequential {e plan} (per-shard ticket selection through the shared
+    pool, shard order — the only cross-shard coupling), a parallel
+    {e execute} (each shard's batch on a fixed {!Exec} domain pool,
+    share-nothing), and a sequential {e merge} (accounting and replies,
+    shard order, on the calling domain).  The reply stream and every
+    signature are therefore a function of the request sequence and the
+    seed alone — byte-identical at any [jobs], which is what the bench's
+    equal-seeds/equal-signatures gate checks across the [--jobs] range.
+
+    {b Group commit.}  With [batch_fsync > 1] admission {e stages}
+    intake records and their [Accepted] acks; one covering fsync per
+    dirty shard is paid at {!flush} (issued automatically by {!tick},
+    {!drain}, and whenever the staged count reaches [batch_fsync]), and
+    only then are the acks released — an ack still always means "an
+    fsync covered this record", there are just fewer fsyncs than acks.
+
+    The daemon's control loop is single-threaded (admission, planning
+    and merging all happen on the calling domain); only shard batch
+    execution fans out.  Counters are {!Atomic} so any stats read is
+    untearable regardless of which domain asks. *)
 
 type config = {
   shards : int;
@@ -32,26 +50,35 @@ type config = {
   tenant_series_cap : int;
       (** bound on per-tenant labeled telemetry series
           ({!Telemetry.Metrics.set_label_cap}) *)
+  jobs : int;
+      (** worker domains for batch execution (1 = fully sequential;
+          results are byte-identical either way) *)
+  batch_fsync : int;
+      (** acks staged per covering intake fsync (1 = sync every
+          admission, the pre-group-commit behaviour) *)
   shard : Shard.config;
   seed : int;
 }
 
 val default_config : config
 (** 4 shards, queue 64 (8/tenant), 8 slots per round (2/tenant),
-    32 labeled tenant series. *)
+    32 labeled tenant series, [jobs = 1], [batch_fsync = 1]. *)
 
 type t
 
 val create :
   ?config:config ->
-  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  ?kill:(shard:int -> Journal.Journaled.kill_point -> unit) ->
   stores:(int -> Shard.stores) ->
   unit ->
   t
 (** Boot fresh shards ([stores i] supplies shard [i]'s journal and
     intake stores — memory stores in tests, per-shard directories under
     the CLI).  [kill] is threaded to every shard's journal (the bench's
-    mid-update crash lever). *)
+    mid-update crash lever), now {e per shard}: kill plans must count
+    per-shard kill points, because under [jobs > 1] the interleaving of
+    different shards' journal writes is scheduling-dependent — only each
+    shard's own stream is deterministic. *)
 
 type started = {
   daemon : t;
@@ -63,7 +90,7 @@ type started = {
 
 val start :
   ?config:config ->
-  ?kill:(Journal.Journaled.kill_point -> unit) ->
+  ?kill:(shard:int -> Journal.Journaled.kill_point -> unit) ->
   stores:(int -> Shard.stores) ->
   unit ->
   started
@@ -71,19 +98,38 @@ val start :
     snapshot is {!Shard.recover}ed, one without is created fresh.
     [config.seed] must match the crashed process. *)
 
+val shutdown : t -> unit
+(** Join the executor's worker domains.  Idempotent.  Call when
+    abandoning a daemon without draining it (the bench's simulated
+    crashes) — leaked domains accumulate across restarts and OCaml caps
+    live domains at ~128.  The daemon must not {!tick}/{!drain} after
+    shutdown if [jobs > 1]. *)
+
 val submit : t -> Wire.request -> Wire.reply list
 (** Handle one request.  [Submit] returns exactly one admission reply
-    ([Accepted] / [Rejected_overload] / [Rejected]); [Drain] processes
+    ([Accepted] / [Rejected_overload] / [Rejected]) when it can — under
+    group commit ([batch_fsync > 1]) an admission that doesn't fill the
+    batch returns [[]] and its [Accepted] ack is released by the next
+    {!flush}/{!tick}/{!drain}, in admission order.  [Drain] processes
     everything and returns [Drained]; [Stats] returns [Stats_reply].
     Processing outcomes for accepted events arrive from {!tick}. *)
 
+val flush : t -> Wire.reply list
+(** Group-commit barrier: one covering fsync per dirty shard, then the
+    staged [Accepted] acks in admission order.  [[]] when nothing is
+    staged (no fsync paid). *)
+
 val tick : t -> Wire.reply list
-(** Run one fair scheduling round across all shards and return the
-    outcome replies ([Applied] / [Quarantined_ticket]) it produced. *)
+(** {!flush}, then run one fair scheduling round across all shards
+    (plan sequentially, execute on the domain pool, merge in shard
+    order).  Returns the released acks followed by the outcome replies
+    ([Applied] / [Quarantined_ticket]).  Nothing is processed before
+    its ack's covering barrier. *)
 
 val drain : t -> Wire.reply list
-(** Stop admitting, process every pending ticket, snapshot every shard.
-    Returns the outcome replies followed by [Drained]. *)
+(** Stop admitting, {!flush}, process every pending ticket (unbounded
+    rounds on the domain pool), snapshot every shard.  Returns released
+    acks, outcome replies, then [Drained]. *)
 
 val pending : t -> int
 
@@ -97,6 +143,15 @@ val shed : t -> int
 val draining : t -> bool
 
 val stats_reply : t -> Wire.reply
+(** Untearable: each counter is a single {!Atomic} read; counters only
+    move between rounds on the control domain, so the reply is a
+    consistent snapshot. *)
+
+type intake_stats = { appends : int; fsyncs : int }
+
+val intake_stats : t -> intake_stats
+(** Lifetime intake appends and fsync barriers summed over shards — the
+    bench's fsyncs-per-event ratio ([batch_fsync = 1] pins it at 1). *)
 
 val signature : t -> string
 (** Digest over every shard's {!Shard.signature} — the whole daemon's
@@ -116,4 +171,27 @@ val serve_channels : t -> in_channel -> out_channel -> session
     scheduling round produced).  Ends on [Drain] (drained true) or on
     EOF / a torn frame, which triggers the same graceful drain (drained
     false).  Either way every acked event has been processed and every
-    shard snapshotted when this returns. *)
+    shard snapshotted when this returns.  Synchronous: each request is
+    flushed before the next arrives, so group commit degenerates to
+    batches of one here — the batching win needs {!serve_sessions} or an
+    in-process caller. *)
+
+type served = {
+  sessions : int;  (** sessions accepted over the loop's lifetime *)
+  total_requests : int;
+  drain_requested : bool;  (** an explicit [Drain] ended the loop *)
+}
+
+val serve_sessions : t -> listen:Unix.file_descr -> ?max_sessions:int -> unit -> served
+(** Accept up to [max_sessions] (default 4) concurrent sessions on the
+    listening socket and multiplex them over one admission path with
+    [Unix.select].  Each poll cycle reads every ready session (session
+    order, so admission order is deterministic given arrival order),
+    pays one group-commit {!flush} for the whole cycle, then runs one
+    {!tick} round if work is pending.  Replies that name a tenant are
+    routed to the session that last submitted for that tenant; [Drained]
+    broadcasts.  A torn frame drops only that session.  The loop ends on
+    an explicit [Drain] (drained broadcast, all sessions closed) or when
+    the last session disconnects (same graceful drain as
+    {!serve_channels}).  The caller closes [listen] and calls
+    {!shutdown}. *)

@@ -1,0 +1,150 @@
+(* A fixed pool of worker domains with a deterministic task->worker
+   assignment.  The daemon's round loop hands it one thunk per shard;
+   slot w runs the thunks whose index i satisfies [i mod jobs = w], in
+   increasing i, so the work each domain performs — and therefore each
+   shard's execution stream — is a function of the task list alone,
+   never of scheduling.  Slot 0 is the calling domain: at [jobs = 1] no
+   domain is ever spawned and [run] degenerates to a plain in-order
+   loop. *)
+
+type t = {
+  jobs : int;
+  lock : Mutex.t;
+  cond : Condition.t;
+  (* One "round" at a time: [job] is the body every worker runs (with
+     its slot index), [gen] distinguishes rounds so a worker that wakes
+     late never re-runs a finished one, [remaining] counts workers still
+     inside the current round. *)
+  mutable job : (int -> unit) option;
+  mutable gen : int;
+  mutable remaining : int;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t w =
+  let seen = ref 0 in
+  let rec next () =
+    Mutex.lock t.lock;
+    while t.gen = !seen && not t.stopping do
+      Condition.wait t.cond t.lock
+    done;
+    if t.stopping then Mutex.unlock t.lock
+    else begin
+      seen := t.gen;
+      let f = Option.get t.job in
+      Mutex.unlock t.lock;
+      (* [f] never raises: [run] wraps every task in its own handler. *)
+      f w;
+      Mutex.lock t.lock;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      next ()
+    end
+  in
+  next ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Serve.Exec.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      gen = 0;
+      remaining = 0;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun k ->
+        Domain.spawn (fun () -> worker_loop t (k + 1)));
+  t
+
+let jobs t = t.jobs
+
+let stop t =
+  Mutex.lock t.lock;
+  let ds = t.domains in
+  t.stopping <- true;
+  t.domains <- [];
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ds
+
+let stopped t =
+  Mutex.lock t.lock;
+  let s = t.stopping in
+  Mutex.unlock t.lock;
+  s
+
+(* Every task runs, whatever the others do: a task that raises is
+   recorded, never propagated into its worker, and the first failure in
+   {e index} order is re-raised only after the barrier — so a simulated
+   crash in shard s still lets every other shard finish its planned
+   batch, exactly like the sequential loop finishing the round before
+   the exception surfaces.  That completion rule is what keeps crash
+   runs byte-identical at every [jobs]. *)
+let run t tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    if stopped t then invalid_arg "Serve.Exec.run: executor stopped";
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let run_task i =
+      match tasks.(i) () with
+      | v -> results.(i) <- Some v
+      | exception exn -> errors.(i) <- Some exn
+    in
+    (* A slot holding several tasks overlaps them on lightweight
+       threads rather than chaining them: the tasks are share-nothing
+       by contract, each writes a distinct results slot, and a thread
+       blocked in a store barrier (fsync releases the runtime lock)
+       lets its siblings run — so one domain keeps several shards'
+       commit waits in flight.  The more threads a device sees parked
+       in fsync at once, the more records each journal commit absorbs,
+       which is where the over-subscription pays on few cores. *)
+    let slot w =
+      let mine = ref [] in
+      let i = ref w in
+      while !i < n do
+        mine := !i :: !mine;
+        i := !i + t.jobs
+      done;
+      match List.rev !mine with
+      | [] -> ()
+      | [ i ] -> run_task i
+      | first :: rest ->
+          let threads = List.map (Thread.create run_task) rest in
+          run_task first;
+          List.iter Thread.join threads
+    in
+    if t.jobs = 1 || n = 1 then
+      (* The sequential reference: no domains, no threads, plain
+         index-order loop — what every other configuration must match
+         byte-for-byte. *)
+      for i = 0 to n - 1 do
+        run_task i
+      done
+    else begin
+      Mutex.lock t.lock;
+      t.job <- Some slot;
+      t.remaining <- t.jobs - 1;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.lock;
+      slot 0;
+      Mutex.lock t.lock;
+      while t.remaining > 0 do
+        Condition.wait t.cond t.lock
+      done;
+      t.job <- None;
+      Mutex.unlock t.lock
+    end;
+    Array.iter (function Some exn -> raise exn | None -> ()) errors;
+    Array.map Option.get results
+  end

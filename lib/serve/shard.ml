@@ -128,6 +128,7 @@ type stores = { journal : Journal.Store.t; intake : Journal.Store.t }
 type t = {
   config : config;
   stores : stores;
+  intake_b : Journal.Store.Batched.t;  (* group-commit view of [stores.intake] *)
   jeng : Journal.Journaled.t;
   mutable cs : cstate;
   mutable next_ticket : int;
@@ -169,19 +170,40 @@ let create ?(config = default_config) ?kill ~stores ~seed ~id () =
   Journal.Journaled.snapshot_now jeng;
   stores.intake.Journal.Store.snap_write "";
   stores.intake.Journal.Store.wal_reset ();
-  { config; stores; jeng; cs; next_ticket = 1; queue = []; since_snapshot = 0 }
+  {
+    config;
+    stores;
+    intake_b = Journal.Store.Batched.wrap stores.intake;
+    jeng;
+    cs;
+    next_ticket = 1;
+    queue = [];
+    since_snapshot = 0;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Admission                                                           *)
 
-let admit t ~tenant ~op =
+let admit ?(sync = true) t ~tenant ~op =
   let ticket = t.next_ticket in
   t.next_ticket <- ticket + 1;
-  t.stores.intake.Journal.Store.wal_append
+  Journal.Store.Batched.append t.intake_b
     (encode_intake { it_ticket = ticket; it_tenant = tenant; it_op = op });
-  t.stores.intake.Journal.Store.wal_sync ();
+  if sync then Journal.Store.Batched.flush t.intake_b;
   t.queue <- t.queue @ [ (ticket, tenant, op) ];
   ticket
+
+let flush_intake t = Journal.Store.Batched.flush t.intake_b
+
+let staged_intake t = Journal.Store.Batched.staged t.intake_b
+
+type intake_stats = { appends : int; fsyncs : int }
+
+let intake_stats t =
+  {
+    appends = Journal.Store.Batched.appends t.intake_b;
+    fsyncs = Journal.Store.Batched.syncs t.intake_b;
+  }
 
 let pending t = List.length t.queue
 
@@ -339,9 +361,12 @@ let snapshot t =
   in
   (* Pending records move to the atomic snapshot slot before the log is
      truncated: a crash between the two reads them twice (deduped on
-     recovery), never zero times. *)
+     recovery), never zero times.  The snap slot is durable on return,
+     so any appends still staged under group commit are covered by it —
+     their eventual acks no longer need a WAL barrier. *)
   t.stores.intake.Journal.Store.snap_write frames;
   t.stores.intake.Journal.Store.wal_reset ();
+  Journal.Store.Batched.note_durable t.intake_b;
   t.since_snapshot <- 0
 
 let process_one t (ticket, tenant, op) =
@@ -383,26 +408,50 @@ let process_one t (ticket, tenant, op) =
           };
     }
 
-let process_round t ~pool =
-  let entries = t.queue in
+type batch = (int * int * Wire.op) list
+
+(* Selection is split from execution so the daemon can plan every
+   shard's round sequentially (the pool walk below is the only
+   cross-shard coupling) and then execute the per-shard batches on a
+   domain pool: by the time a batch runs, it touches nothing but its own
+   shard. *)
+(* Selection does NOT dequeue: a planned ticket stays in [t.queue] until
+   the moment {!execute_batch} reaches it.  That keeps the compaction
+   invariant — every admitted-unprocessed ticket is in [t.queue] or in
+   the done-set at any {!snapshot} point — even when an event early in a
+   batch triggers a mid-batch snapshot.  (Dequeuing the whole batch at
+   plan time once made such a snapshot's intake compaction destroy the
+   only durable record of the batch's still-unprocessed tail: a
+   subsequently quarantined — never journaled — ticket then vanished
+   entirely across a crash and its number was re-issued to a new
+   admission.) *)
+let plan_round t ~pool =
   let blocked = Hashtbl.create 8 in
   let acquired = ref [] in
   let out = ref [] in
   List.iter
-    (fun ((ticket, tenant, _) as e) ->
+    (fun ((_, tenant, _) as e) ->
       if Hashtbl.mem blocked tenant then ()
       else if Portfolio.Pool.try_acquire pool ~key:tenant then begin
         acquired := tenant :: !acquired;
-        t.queue <- List.filter (fun (tk, _, _) -> tk <> ticket) t.queue;
-        out := process_one t e :: !out
+        out := e :: !out
       end
       else
         (* Skipping the whole tenant for the round keeps its own tickets
            FIFO while later tenants overtake it. *)
         Hashtbl.replace blocked tenant ())
-    entries;
+    t.queue;
   List.iter (fun tenant -> Portfolio.Pool.release pool ~key:tenant) !acquired;
   List.rev !out
+
+let execute_batch t batch =
+  List.map
+    (fun ((ticket, _, _) as e) ->
+      t.queue <- List.filter (fun (tk, _, _) -> tk <> ticket) t.queue;
+      process_one t e)
+    batch
+
+let process_round t ~pool = execute_batch t (plan_round t ~pool)
 
 let drain t =
   let out = ref [] in
@@ -478,6 +527,7 @@ let recover ?(config = default_config) ?kill ~stores ~seed ~id () =
       {
         config;
         stores;
+        intake_b = Journal.Store.Batched.wrap stores.intake;
         jeng;
         cs;
         next_ticket = max_seen + 1;

@@ -85,11 +85,30 @@ val create :
 
 (** {1 Admission} *)
 
-val admit : t -> tenant:int -> op:Wire.op -> int
-(** Durably log one admitted operation and return its ticket (a
-    per-shard sequence starting at 1).  Returns only after the intake
-    append is fsynced — callers may ack.  Queue bounds are the caller's
-    job ({!Daemon}); the shard never sheds. *)
+val admit : ?sync:bool -> t -> tenant:int -> op:Wire.op -> int
+(** Log one admitted operation and return its ticket (a per-shard
+    sequence starting at 1).  With [sync] (the default) the intake
+    append is fsynced before returning — callers may ack immediately.
+    With [~sync:false] the record is only {e staged} (group commit): the
+    caller must not ack until a {!flush_intake} — or a {!snapshot},
+    whose atomic snap slot carries the pending records — covers it.
+    Queue bounds are the caller's job ({!Daemon}); the shard never
+    sheds. *)
+
+val flush_intake : t -> unit
+(** Durability barrier for every staged intake append: one fsync,
+    skipped when nothing is staged.  After it returns, every ticket
+    {!admit}ted so far may be acked. *)
+
+val staged_intake : t -> int
+(** Admitted tickets whose intake record is not yet covered by a
+    barrier (must be 0 whenever an ack is sent). *)
+
+type intake_stats = { appends : int; fsyncs : int }
+
+val intake_stats : t -> intake_stats
+(** Lifetime intake-log appends and fsync barriers actually issued —
+    the bench's fsyncs-per-event numerator/denominator. *)
 
 val pending : t -> int
 (** Admitted tickets not yet processed. *)
@@ -110,13 +129,29 @@ type outcome =
 
 type processed = { p_tenant : int; p_ticket : int; p_outcome : outcome }
 
+type batch = (int * int * Wire.op) list
+(** One round's selection for this shard, admission order. *)
+
+val plan_round : t -> pool:Portfolio.Pool.t -> batch
+(** Select this round's tickets: taken in admission order {e per
+    tenant}, but a tenant refused a pool slot (global pressure or its
+    per-tenant cap) is skipped {e as a whole} for the round — later
+    tenants overtake it, its own later tickets never do.  Every slot
+    acquired is released before returning.  Pure bookkeeping — nothing
+    touches the engine or the stores, and planned tickets stay queued
+    until {!execute_batch} reaches them (so a mid-batch intake
+    compaction still sees them) — so the daemon plans all shards
+    sequentially (deterministically) before executing in parallel. *)
+
+val execute_batch : t -> batch -> processed list
+(** Process a planned batch in order.  Touches only this shard's state
+    and stores, so batches of {e distinct} shards may run on distinct
+    domains concurrently; never run two batches of the same shard
+    concurrently, and never concurrently with {!admit} on the same
+    shard. *)
+
 val process_round : t -> pool:Portfolio.Pool.t -> processed list
-(** Process the pending queue through one scheduling round: tickets are
-    taken in admission order {e per tenant}, but a tenant refused a pool
-    slot (global pressure or its per-tenant cap) is skipped {e as a
-    whole} for the round — later tenants overtake it, its own later
-    tickets never do.  Every slot acquired is released before
-    returning. *)
+(** [execute_batch t (plan_round t ~pool)] — the sequential round. *)
 
 val drain : t -> processed list
 (** Process everything pending (unbounded rounds), then snapshot the

@@ -134,6 +134,38 @@ let reply_of_payload p =
 let decode_requests s = decode_with request_of_payload s
 let decode_replies s = decode_with reply_of_payload s
 
+type frames = Frames of string list | Torn
+
+(* Incremental sibling of [decode_requests] for non-blocking sessions: a
+   session buffer grows by whatever [read] returned, which can end
+   mid-frame.  A short tail is *not* an error — the frames so far are
+   returned and the tail stays buffered for the next read.  Only an
+   impossible length or a CRC mismatch is [Torn]: unlike the
+   prefix-decode used on complete streams, a live session can
+   distinguish "not yet arrived" from "never valid", and must kill the
+   connection on the latter instead of silently eating its tail. *)
+let take_frames buf =
+  let data = Buffer.contents buf in
+  let n = String.length data in
+  let rec go acc off =
+    if n - off < 8 then Ok (List.rev acc, off)
+    else
+      let len = Int32.to_int (String.get_int32_be data off) in
+      if len < 0 || len > 1 lsl 24 then Error ()
+      else if n - off < 8 + len then Ok (List.rev acc, off)
+      else
+        match Journal.Wal.unframe (String.sub data off (8 + len)) with
+        | Some payload -> go (payload :: acc) (off + 8 + len)
+        | None -> Error ()
+  in
+  match go [] 0 with
+  | Error () -> Torn
+  | Ok (payloads, consumed) ->
+    let rest = String.sub data consumed (n - consumed) in
+    Buffer.clear buf;
+    Buffer.add_string buf rest;
+    Frames payloads
+
 let read_message ic =
   match really_input_string ic 8 with
   | exception End_of_file -> None

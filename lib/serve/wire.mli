@@ -112,6 +112,20 @@ val decode_requests : string -> request list * int
 
 val decode_replies : string -> reply list * int
 
+type frames =
+  | Frames of string list
+      (** every complete frame's payload, arrival order; an incomplete
+          tail stays buffered for the next read *)
+  | Torn  (** impossible length or CRC mismatch — the stream can never
+              become valid again; close the session *)
+
+val take_frames : Buffer.t -> frames
+(** Extract the complete frames from a growing session buffer, leaving
+    any incomplete tail in place.  The incremental sibling of
+    {!decode_requests}: a live session can tell "not yet arrived" (wait
+    for more bytes) from "never valid" ([Torn] — drop the connection),
+    which the whole-stream prefix decode cannot. *)
+
 val read_message : in_channel -> string option
 (** Blocking read of one framed payload; [None] on EOF or a corrupt
     frame (either way the stream is unusable and the connection should

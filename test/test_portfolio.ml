@@ -268,6 +268,45 @@ let test_jobs1_is_sequential () =
   Alcotest.(check int) "identical search" seq_stats.Ilp.Solver.nodes
     par_stats.Ilp.Solver.nodes
 
+(* The bulkhead pool under real contention: four domains hammer
+   acquire/release over a small key space, and a mirror of the pool's
+   occupancy in plain atomics must never observe more than [slots] in
+   flight in total nor more than [per_key_cap] for any key — the
+   serving daemon trusts exactly this when shard batches plan through
+   one shared pool. *)
+let test_pool_domain_stress () =
+  let slots = 6 and cap = 2 and keys = 8 in
+  let p = Portfolio.Pool.create ~slots ~per_key_cap:cap in
+  let in_flight = Atomic.make 0 in
+  let per_key = Array.init keys (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  let worker seed () =
+    let st = ref seed in
+    let rand bound =
+      st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+      !st mod bound
+    in
+    for _ = 1 to 3000 do
+      let key = rand keys in
+      if Portfolio.Pool.try_acquire p ~key then begin
+        let tot = 1 + Atomic.fetch_and_add in_flight 1 in
+        let mine = 1 + Atomic.fetch_and_add per_key.(key) 1 in
+        if tot > slots || mine > cap then Atomic.incr violations;
+        Atomic.decr per_key.(key);
+        Atomic.decr in_flight;
+        Portfolio.Pool.release p ~key
+      end
+    done
+  in
+  let others = List.init 3 (fun i -> Domain.spawn (worker (31 * (i + 1)))) in
+  worker 7 ();
+  List.iter Domain.join others;
+  Alcotest.(check int) "no bulkhead violation under 4 domains" 0
+    (Atomic.get violations);
+  Alcotest.(check int) "every slot returned" 0 (Portfolio.Pool.in_flight p);
+  Alcotest.(check bool) "pool still usable" true
+    (Portfolio.Pool.try_acquire p ~key:0)
+
 (* Portfolio engine with jobs <= 1 resolves to the plain ILP engine. *)
 let test_portfolio_jobs1_degrades () =
   let g = Prng.create 99 in
@@ -300,6 +339,8 @@ let suite =
       test_race_definitive_exception_cancels;
     Alcotest.test_case "jobs=1 is the sequential search" `Quick
       test_jobs1_is_sequential;
+    Alcotest.test_case "pool bulkhead holds under four domains" `Quick
+      test_pool_domain_stress;
     Alcotest.test_case "portfolio jobs=1 degrades to ILP" `Quick
       test_portfolio_jobs1_degrades;
   ]

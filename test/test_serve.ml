@@ -453,6 +453,263 @@ let test_shard_crash_resume_deterministic () =
   let d = run ~kill_after:None in
   Alcotest.(check bool) "uncrashed runs reproducible" true (c = d)
 
+(* ---------------- executor: order, completion rule, determinism ------ *)
+
+let test_exec_pool () =
+  let module Exec = Serve.Exec in
+  (* results land in task order at every jobs, every task runs *)
+  List.iter
+    (fun jobs ->
+      let e = Exec.create ~jobs in
+      Fun.protect ~finally:(fun () -> Exec.stop e) @@ fun () ->
+      let ran = Array.make 7 false in
+      let tasks =
+        Array.init 7 (fun i () ->
+            ran.(i) <- true;
+            i * 10)
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d results in task order" jobs)
+        (Array.init 7 (fun i -> i * 10))
+        (Exec.run e tasks);
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d every task ran" jobs)
+        true
+        (Array.for_all Fun.id ran))
+    [ 1; 2; 4; 8 ];
+  (* completion rule: a failing task never stops the others, and the
+     first failure in index order is what re-raises — at any jobs *)
+  let e = Exec.create ~jobs:3 in
+  let ran = Array.make 6 false in
+  let tasks =
+    Array.init 6 (fun i () ->
+        ran.(i) <- true;
+        if i = 2 then failwith "boom-2";
+        if i = 4 then failwith "boom-4";
+        i)
+  in
+  (match Exec.run e tasks with
+  | _ -> Alcotest.fail "a failing task must re-raise"
+  | exception Failure m ->
+    Alcotest.(check string) "first failure in index order" "boom-2" m);
+  Alcotest.(check bool) "failed round still ran every task" true
+    (Array.for_all Fun.id ran);
+  Exec.stop e;
+  Exec.stop e;
+  (* stop is idempotent, and a stopped executor refuses work *)
+  match Exec.run e [| (fun () -> 0) |] with
+  | _ -> Alcotest.fail "run after stop accepted"
+  | exception Invalid_argument _ -> ()
+
+(* ---------------- group commit: acks wait for the covering fsync ----- *)
+
+let test_group_commit_acks () =
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.seed = 5;
+      shards = 2;
+      batch_fsync = 3;
+      queue_limit = 32;
+      tenant_queue_limit = 8;
+    }
+  in
+  let stores, crash = mem_stores 2 in
+  let d = Daemon.create ~config ~stores () in
+  let sub t =
+    Daemon.submit d (Wire.Submit { tenant = t; op = Wire.Connect { rules = 2 } })
+  in
+  Alcotest.(check int) "first admission staged, not acked" 0
+    (List.length (sub 0));
+  Alcotest.(check int) "second admission staged" 0 (List.length (sub 1));
+  let acked = ref [] in
+  let note = function
+    | Wire.Accepted { tenant; ticket } -> acked := (tenant, ticket) :: !acked
+    | r -> Alcotest.failf "unexpected reply %s" (Wire.describe_reply r)
+  in
+  (* the batch-filling admission releases every staged ack, in order *)
+  (match sub 2 with
+  | [
+      Wire.Accepted { tenant = 0; _ };
+      Wire.Accepted { tenant = 1; _ };
+      Wire.Accepted { tenant = 2; _ };
+    ] as acks ->
+    List.iter note acks
+  | _ -> Alcotest.fail "batch-filling admission must release acks in order");
+  (* a partial batch is released by the next tick, ack before outcome *)
+  Alcotest.(check int) "fourth admission staged" 0 (List.length (sub 3));
+  (match Daemon.tick d with
+  | Wire.Accepted { tenant = 3; _ } :: _ as replies ->
+    List.iter
+      (function Wire.Accepted _ as a -> note a | _ -> ())
+      replies
+  | _ -> Alcotest.fail "tick must release the staged ack before outcomes");
+  let stats = Daemon.intake_stats d in
+  Alcotest.(check bool) "fewer intake barriers than appends" true
+    (stats.Daemon.fsyncs < stats.Daemon.appends);
+  (* every released ack survives a crash: recover, drain, probe *)
+  crash ();
+  Daemon.shutdown d;
+  let s = Daemon.start ~config ~stores () in
+  Alcotest.(check (list string)) "clean recovery" [] s.Daemon.divergences;
+  let d2 = s.Daemon.daemon in
+  ignore (Daemon.drain d2);
+  List.iter
+    (fun (tenant, ticket) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "acked t%d #%d resolved after crash" tenant ticket)
+        true
+        (Daemon.resolved d2 ~tenant ~ticket))
+    !acked;
+  Daemon.shutdown d2
+
+(* ---------------- stats: untearable under a concurrent reader -------- *)
+
+let test_stats_atomic_audit () =
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.seed = 9;
+      shards = 2;
+      jobs = 2;
+      queue_limit = 64;
+      tenant_queue_limit = 16;
+    }
+  in
+  let stores, _ = mem_stores 2 in
+  let d = Daemon.create ~config ~stores () in
+  let stop = Atomic.make false in
+  let torn = Atomic.make 0 in
+  let samples = Atomic.make 0 in
+  (* Each counter is one Atomic read and only ever grows, so any
+     snapshot — from any domain, at any moment — must be monotone in
+     [accepted] and satisfy applied + quarantined <= accepted.  A
+     struct-level torn read (the pre-Atomic failure mode) breaks both. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let last = ref (-1) in
+        while not (Atomic.get stop) do
+          (match Daemon.stats_reply d with
+          | Wire.Stats_reply { accepted; applied; quarantined; _ } ->
+            Atomic.incr samples;
+            if applied + quarantined > accepted || accepted < !last then
+              Atomic.incr torn;
+            last := max !last accepted
+          | _ -> Atomic.incr torn);
+          Domain.cpu_relax ()
+        done)
+  in
+  let gen = Serve.Loadgen.make ~tenants:6 ~seed:9 () in
+  for _ = 1 to 25 do
+    for _ = 1 to 4 do
+      ignore (Daemon.submit d (Serve.Loadgen.next gen))
+    done;
+    ignore (Daemon.tick d)
+  done;
+  ignore (Daemon.drain d);
+  Atomic.set stop true;
+  Domain.join reader;
+  Daemon.shutdown d;
+  Alcotest.(check int) "no torn stats read" 0 (Atomic.get torn);
+  Alcotest.(check bool) "reader actually sampled" true (Atomic.get samples > 0)
+
+(* ---------------- multi-session accept loop -------------------------- *)
+
+let test_serve_sessions_multiplex () =
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.seed = 3;
+      shards = 2;
+      jobs = 2;
+      batch_fsync = 2;
+      queue_limit = 32;
+      tenant_queue_limit = 8;
+    }
+  in
+  let stores, _ = mem_stores 2 in
+  let d = Daemon.create ~config ~stores () in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sdnplace-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let listen = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen (Unix.ADDR_UNIX path);
+  Unix.listen listen 4;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen with Unix.Unix_error _ -> ());
+      (try Sys.remove path with Sys_error _ -> ());
+      Daemon.shutdown d)
+    (fun () ->
+      let server =
+        Domain.spawn (fun () ->
+            Daemon.serve_sessions d ~listen ~max_sessions:2 ())
+      in
+      let connect () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      let a = connect () in
+      let b = connect () in
+      let send fd r =
+        let s = Wire.encode_request r in
+        ignore (Unix.write_substring fd s 0 (String.length s))
+      in
+      send a (Wire.Submit { tenant = 0; op = Wire.Connect { rules = 2 } });
+      send b (Wire.Submit { tenant = 1; op = Wire.Connect { rules = 2 } });
+      send a (Wire.Submit { tenant = 0; op = Wire.Flow });
+      send b Wire.Drain;
+      (* the server closes every session after the drain broadcast *)
+      let read_all fd =
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 4096 in
+        let rec go () =
+          match Unix.read fd chunk 0 4096 with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+        in
+        go ();
+        Unix.close fd;
+        let replies, consumed = Wire.decode_replies (Buffer.contents buf) in
+        Alcotest.(check int) "no torn reply bytes" (Buffer.length buf) consumed;
+        replies
+      in
+      let ra = read_all a in
+      let rb = read_all b in
+      let served = Domain.join server in
+      Alcotest.(check int) "two sessions served" 2 served.Daemon.sessions;
+      Alcotest.(check int) "four requests" 4 served.Daemon.total_requests;
+      Alcotest.(check bool) "ended on explicit drain" true
+        served.Daemon.drain_requested;
+      let count p rs = List.length (List.filter p rs) in
+      let acks t =
+        count (function Wire.Accepted { tenant; _ } -> tenant = t | _ -> false)
+      in
+      let outcomes t =
+        count (function
+          | Wire.Applied { tenant; _ } | Wire.Quarantined_ticket { tenant; _ }
+            -> tenant = t
+          | _ -> false)
+      in
+      (* per-tenant replies route to the session that submitted them *)
+      Alcotest.(check int) "A's acks" 2 (acks 0 ra);
+      Alcotest.(check int) "B's acks" 1 (acks 1 rb);
+      Alcotest.(check int) "no cross-routing to A" 0 (acks 1 ra + outcomes 1 ra);
+      Alcotest.(check int) "no cross-routing to B" 0 (acks 0 rb + outcomes 0 rb);
+      Alcotest.(check int) "A's outcomes" 2 (outcomes 0 ra);
+      Alcotest.(check int) "B's outcomes" 1 (outcomes 1 rb);
+      Alcotest.(check int) "drain broadcast to both" 2
+        (count (function Wire.Drained _ -> true | _ -> false) ra
+        + count (function Wire.Drained _ -> true | _ -> false) rb);
+      Alcotest.(check int) "daemon fully drained" 0 (Daemon.pending d))
+
 (* ---------------- the property: admission never loses an acked event - *)
 
 (* One full daemon life against a seeded stream: random submits in
@@ -484,7 +741,11 @@ let daemon_life ~seed ~kills () =
     | [] -> armed := None
   in
   arm ();
-  let kill _ =
+  (* A single global kill counter across shards — deterministic only
+     because this life runs at jobs = 1 (shard batches execute in shard
+     order on one domain).  The cross-jobs property below uses per-shard
+     counters instead. *)
+  let kill ~shard:_ _ =
     match !armed with
     | Some n when n <= 0 -> raise (Journal.Journaled.Killed "qcheck")
     | Some n -> armed := Some (n - 1)
@@ -549,6 +810,113 @@ let qcheck_no_lost_acks =
           "equal seeds and kill plans gave different final signatures";
       true)
 
+(* One daemon life at a given [jobs], with {e per-shard} kill plans:
+   under a parallel executor only each shard's own journal stream is
+   schedule-independent, so the crash lever must count kill points per
+   shard (a global counter across shards would fire at a
+   scheduling-dependent point).  Group commit is on, so acks arrive
+   batched; the life records them all and the property checks none is
+   lost and that every jobs value produces the same bytes. *)
+let daemon_life_at ~jobs ~seed ~kills () =
+  let shards = 2 in
+  let config =
+    {
+      Daemon.default_config with
+      Daemon.seed;
+      shards;
+      queue_limit = 10;
+      tenant_queue_limit = 3;
+      round_slots = 4;
+      tenant_round_cap = 2;
+      jobs;
+      batch_fsync = 2;
+      shard = { Shard.default_config with Shard.snapshot_every = 4 };
+    }
+  in
+  let stores, crash = mem_stores shards in
+  let kill_plan = ref kills in
+  let armed = Array.make shards None in
+  let arm () =
+    Array.fill armed 0 shards None;
+    match !kill_plan with
+    | (s, n) :: rest ->
+      kill_plan := rest;
+      armed.(s mod shards) <- Some n
+    | [] -> ()
+  in
+  arm ();
+  let kill ~shard _ =
+    match armed.(shard) with
+    | Some n when n <= 0 -> raise (Journal.Journaled.Killed "qcheck-jobs")
+    | Some n -> armed.(shard) <- Some (n - 1)
+    | None -> ()
+  in
+  let gen = Serve.Loadgen.make ~tenants:4 ~seed () in
+  let d = ref (Daemon.create ~config ~kill ~stores ()) in
+  let acked = ref [] in
+  let crashes = ref 0 in
+  let divergences = ref [] in
+  let record = function
+    | Wire.Accepted { tenant; ticket } -> acked := (tenant, ticket) :: !acked
+    | _ -> ()
+  in
+  for _ = 1 to 12 do
+    for _ = 1 to 3 do
+      List.iter record (Daemon.submit !d (Serve.Loadgen.next gen))
+    done;
+    match Daemon.tick !d with
+    | replies -> List.iter record replies
+    | exception Journal.Journaled.Killed _ ->
+      incr crashes;
+      crash ();
+      Daemon.shutdown !d;
+      arm ();
+      let s = Daemon.start ~config ~kill ~stores () in
+      divergences := !divergences @ s.Daemon.divergences;
+      d := s.Daemon.daemon
+  done;
+  Array.fill armed 0 shards None;
+  List.iter record (Daemon.drain !d);
+  let lost =
+    List.filter
+      (fun (tenant, ticket) -> not (Daemon.resolved !d ~tenant ~ticket))
+      !acked
+  in
+  let sigs = (Daemon.signature !d, Daemon.tenant_signatures !d) in
+  Daemon.shutdown !d;
+  (lost, !divergences, !crashes, List.rev !acked, sigs)
+
+let qcheck_jobs_identical =
+  QCheck.Test.make ~count:8
+    ~name:"jobs=1 and jobs=4 lives are byte-identical, crashes included"
+    QCheck.(
+      pair small_nat (list_of_size Gen.(0 -- 2) (pair (0 -- 1) (5 -- 150))))
+    (fun (seed, kills) ->
+      let lost1, div1, crashes1, acked1, sig1 =
+        daemon_life_at ~jobs:1 ~seed ~kills ()
+      in
+      let lost4, div4, crashes4, acked4, sig4 =
+        daemon_life_at ~jobs:4 ~seed ~kills ()
+      in
+      if lost1 <> [] || lost4 <> [] then
+        QCheck.Test.fail_reportf "lost acked tickets: %s"
+          (String.concat ","
+             (List.map
+                (fun (tn, tk) -> Printf.sprintf "%d/%d" tn tk)
+                (lost1 @ lost4)));
+      if div1 <> [] || div4 <> [] then
+        QCheck.Test.fail_reportf "recovery divergence: %s"
+          (String.concat "; " (div1 @ div4));
+      if crashes1 <> crashes4 then
+        QCheck.Test.fail_reportf "kill plans fired %d vs %d times" crashes1
+          crashes4;
+      if acked1 <> acked4 then
+        QCheck.Test.fail_reportf "ack streams differ between jobs=1 and jobs=4";
+      if sig1 <> sig4 then
+        QCheck.Test.fail_reportf
+          "jobs=1 and jobs=4 gave different final signatures";
+      true)
+
 let suite =
   [
     Alcotest.test_case "pool bulkhead semantics" `Quick test_pool_bulkhead;
@@ -566,5 +934,14 @@ let suite =
       test_serve_channels_drains;
     Alcotest.test_case "shard crash-resume is deterministic" `Quick
       test_shard_crash_resume_deterministic;
+    Alcotest.test_case "executor: order, completion rule, stop" `Quick
+      test_exec_pool;
+    Alcotest.test_case "group commit: acks wait for the covering barrier"
+      `Quick test_group_commit_acks;
+    Alcotest.test_case "stats reply untearable under a concurrent reader"
+      `Quick test_stats_atomic_audit;
+    Alcotest.test_case "accept loop multiplexes two sessions" `Quick
+      test_serve_sessions_multiplex;
     qtest qcheck_no_lost_acks;
+    qtest qcheck_jobs_identical;
   ]
